@@ -1,0 +1,44 @@
+//! Criterion bench for experiment E7 (§5.6): the crash-recovery protocol vs
+//! the crash-stop (Chandra–Toueg style) baseline on a crash-free run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_bench::workload::run_load;
+use abcast_core::{ClusterConfig, ConsensusConfig};
+use abcast_types::{ProtocolConfig, SimDuration};
+
+fn bench_ct_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_ct_comparison");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let variants = [
+        ("crash_recovery", ConsensusConfig::crash_recovery()),
+        ("crash_stop_baseline", ConsensusConfig::crash_stop()),
+    ];
+    for (label, consensus) in variants {
+        group.bench_with_input(
+            BenchmarkId::new("order_40_messages", label),
+            &consensus,
+            |b, consensus| {
+                b.iter(|| {
+                    let (_, result) = run_load(
+                        ClusterConfig::basic(3)
+                            .with_seed(7)
+                            .with_protocol(ProtocolConfig::basic())
+                            .with_consensus(consensus.clone()),
+                        40,
+                        32,
+                        SimDuration::from_millis(2),
+                    );
+                    assert!(result.all_delivered);
+                    result.storage.write_ops()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ct_comparison);
+criterion_main!(benches);

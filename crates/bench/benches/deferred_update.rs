@@ -1,0 +1,68 @@
+//! Criterion bench for experiment E9 (§6.2): certification throughput of
+//! the deferred-update replicated database under low and high contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use abcast_core::ConsensusConfig;
+use abcast_replication::{CertifyingDatabase, Replica, Transaction};
+use abcast_sim::{SimConfig, Simulation};
+use abcast_types::{ProcessId, ProtocolConfig, SimDuration, SimTime};
+
+type DbReplica = Replica<CertifyingDatabase>;
+
+fn certify_workload(keys: usize, transactions: usize) -> (u64, u64) {
+    let mut sim = Simulation::new(SimConfig::lan(3).with_seed(9), |_p, _s| {
+        DbReplica::new(ProtocolConfig::alternative(), ConsensusConfig::crash_recovery())
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(keys as u64);
+    let mut ids = Vec::new();
+    for txid in 0..transactions {
+        let home = ProcessId::new(rng.gen_range(0..3u32));
+        let read_key = format!("k{}", rng.gen_range(0..keys));
+        let write_key = format!("k{}", rng.gen_range(0..keys));
+        if let Some(id) = sim.with_actor_mut(home, |replica, ctx| {
+            let (_, version) = replica.state().read(&read_key);
+            let tx = Transaction::new(txid as u64)
+                .read(read_key.clone(), version)
+                .write(write_key.clone(), "v");
+            replica.submit(&tx, ctx)
+        }) {
+            ids.push(id);
+        }
+        sim.run_for(SimDuration::from_millis(5));
+    }
+    let done = sim.run_until(SimTime::from_micros(300_000_000), |sim| {
+        sim.processes().iter().all(|q| {
+            sim.actor(q)
+                .map(|r| ids.iter().all(|id| r.has_executed(*id)))
+                .unwrap_or(false)
+        })
+    });
+    assert!(done);
+    let db = sim.actor(ProcessId::new(0)).unwrap().state().clone();
+    (db.committed(), db.aborted())
+}
+
+fn bench_deferred_update(c: &mut Criterion) {
+    let transactions = 30usize;
+    let mut group = c.benchmark_group("E9_deferred_update");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(transactions as u64));
+    for keys in [2usize, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("certify_30_transactions_keyspace", keys),
+            &keys,
+            |b, &keys| {
+                b.iter(|| certify_workload(keys, transactions));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deferred_update);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench for experiment E6 (fault tolerance, §2.2/§4): time to
+//! deliver a fixed load under increasing link loss, and with crash/recovery
+//! churn injected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_core::{Cluster, ClusterConfig};
+use abcast_net::LinkConfig;
+use abcast_sim::FaultPlan;
+use abcast_types::{ProcessId, ProtocolConfig, SimDuration, SimTime};
+
+fn deliver_under_faults(loss: f64, churn: bool) -> u64 {
+    let link = LinkConfig::lan().with_loss(loss);
+    let mut cluster = Cluster::new(
+        ClusterConfig::basic(5)
+            .with_seed(6)
+            .with_link(link)
+            .with_protocol(ProtocolConfig::alternative()),
+    );
+    if churn {
+        let plan = FaultPlan::none().random_churn(
+            [ProcessId::new(3), ProcessId::new(4)],
+            7,
+            SimDuration::from_millis(150),
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(200),
+            SimTime::from_micros(1_500_000),
+        );
+        cluster.apply_faults(&plan);
+    }
+    let mut ids = Vec::new();
+    for i in 0..20 {
+        if let Some(id) = cluster.broadcast(ProcessId::new(i % 2), vec![i as u8; 32]) {
+            ids.push(id);
+        }
+        cluster.run_for(SimDuration::from_millis(15));
+    }
+    let everyone: Vec<ProcessId> = cluster.processes().iter().collect();
+    assert!(cluster.run_until_delivered(&everyone, &ids, cluster.now() + SimDuration::from_secs(120)));
+    cluster.stats().events
+}
+
+fn bench_fault_tolerance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_fault_tolerance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for loss in [0.0, 0.1, 0.3] {
+        group.bench_with_input(
+            BenchmarkId::new("deliver_20_msgs_loss", format!("{loss}")),
+            &loss,
+            |b, &loss| b.iter(|| deliver_under_faults(loss, false)),
+        );
+    }
+    group.bench_function("deliver_20_msgs_loss_0.1_with_churn", |b| {
+        b.iter(|| deliver_under_faults(0.1, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_tolerance);
+criterion_main!(benches);

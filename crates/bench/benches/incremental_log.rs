@@ -1,0 +1,82 @@
+//! Criterion bench for experiment E5 (incremental logging, §5.5): both the
+//! storage-layer micro-benchmark (persisting a growing set with full
+//! rewrites vs incremental appends) and the end-to-end protocol
+//! configuration comparison.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_bench::workload::run_load;
+use abcast_core::ClusterConfig;
+use abcast_storage::{
+    FullSetLogger, InMemoryStorage, IncrementalSetLogger, SetLogger, StableStorage, StorageKey,
+};
+use abcast_types::{ProtocolConfig, SimDuration};
+
+fn bench_set_loggers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_set_logger_micro");
+    group.sample_size(20);
+    for grows_to in [64usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("full_rewrite", grows_to),
+            &grows_to,
+            |b, &n| {
+                b.iter(|| {
+                    let storage = InMemoryStorage::new();
+                    let mut logger = FullSetLogger::new(StorageKey::new("s"));
+                    let mut set = BTreeSet::new();
+                    for i in 0..n as u64 {
+                        set.insert(i);
+                        logger.persist(&storage, &set).unwrap();
+                    }
+                    storage.metrics().bytes_written()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", grows_to),
+            &grows_to,
+            |b, &n| {
+                b.iter(|| {
+                    let storage = InMemoryStorage::new();
+                    let mut logger = IncrementalSetLogger::<u64>::new(StorageKey::new("s"));
+                    let mut set = BTreeSet::new();
+                    for i in 0..n as u64 {
+                        set.insert(i);
+                        logger.persist(&storage, &set).unwrap();
+                    }
+                    storage.metrics().bytes_written()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_protocol_logging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_protocol_logging");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, incremental) in [("full_value", false), ("incremental", true)] {
+        group.bench_function(BenchmarkId::new("order_40_messages", label), |b| {
+            b.iter(|| {
+                let protocol =
+                    ProtocolConfig::alternative().with_incremental_logging(incremental);
+                let (_, result) = run_load(
+                    ClusterConfig::basic(3).with_seed(5).with_protocol(protocol),
+                    40,
+                    64,
+                    SimDuration::from_millis(2),
+                );
+                assert!(result.all_delivered);
+                result.storage.bytes_written
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_set_loggers, bench_protocol_logging);
+criterion_main!(benches);

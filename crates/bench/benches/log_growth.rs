@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E8 (§5.2): ordering a long stream with
+//! and without application-level checkpoints, reporting the run time (the
+//! footprint comparison lives in the `exp_log_growth` table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_bench::workload::run_load;
+use abcast_core::ClusterConfig;
+use abcast_types::{ProtocolConfig, SimDuration};
+
+fn bench_log_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_log_growth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, app_checkpoints) in [("unbounded_log", false), ("application_checkpoints", true)] {
+        group.bench_function(BenchmarkId::new("order_80_messages", label), |b| {
+            b.iter(|| {
+                let protocol = ProtocolConfig::alternative()
+                    .with_application_checkpoints(app_checkpoints)
+                    .with_checkpoint_period(SimDuration::from_millis(100));
+                let (cluster, result) = run_load(
+                    ClusterConfig::basic(3).with_seed(8).with_protocol(protocol),
+                    80,
+                    48,
+                    SimDuration::from_millis(2),
+                );
+                assert!(result.all_delivered);
+                cluster.sim().storage().total_footprint_bytes()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_log_growth);
+criterion_main!(benches);

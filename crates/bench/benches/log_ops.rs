@@ -1,0 +1,45 @@
+//! Criterion bench for experiment E1 (minimal logging, §4.3): time to order
+//! a fixed batch of messages under each logging policy.  The interesting
+//! output is the accompanying `exp_log_ops` table; this bench tracks the
+//! wall-clock cost of the three configurations so regressions in the
+//! logging path show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_bench::workload::run_load;
+use abcast_core::ClusterConfig;
+use abcast_types::{ProtocolConfig, SimDuration};
+
+fn bench_log_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_log_ops");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let variants = [
+        ("basic", ProtocolConfig::basic()),
+        ("alternative", ProtocolConfig::alternative()),
+        ("naive", ProtocolConfig::naive()),
+    ];
+    for (label, protocol) in variants {
+        group.bench_with_input(
+            BenchmarkId::new("order_20_messages", label),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let (_, result) = run_load(
+                        ClusterConfig::basic(3).with_seed(1).with_protocol(protocol.clone()),
+                        20,
+                        32,
+                        SimDuration::from_millis(2),
+                    );
+                    assert!(result.all_delivered);
+                    result.storage.write_ops()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_log_ops);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for experiment E10 (§6.3): the pure quorum machinery —
+//! reply combination and quorum membership checks — which sits on every
+//! read path of the quorum-replication bridge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_replication::quorum::{combine_read_replies, QuorumConfig, ReadReply};
+use abcast_types::ProcessId;
+
+fn bench_quorum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_quorum");
+    for n in [5usize, 25, 101] {
+        let config = QuorumConfig::uniform_majority(n);
+        let replies: Vec<ReadReply<u64>> = (0..n)
+            .map(|i| ReadReply {
+                replica: ProcessId::new(i as u32),
+                version: (i as u64 * 7) % 13,
+                value: i as u64,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("combine_read_replies", n),
+            &replies,
+            |b, replies| {
+                b.iter(|| combine_read_replies(&config, replies));
+            },
+        );
+        let repliers: Vec<ProcessId> = (0..n).map(|i| ProcessId::new(i as u32)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("is_read_quorum", n),
+            &repliers,
+            |b, repliers| {
+                b.iter(|| config.is_read_quorum(repliers));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quorum);
+criterion_main!(benches);

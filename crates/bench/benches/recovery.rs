@@ -1,0 +1,67 @@
+//! Criterion bench for experiment E2 (recovery cost, §5.1): crash and
+//! recover a process after a warm-up load, with and without `(k, Agreed)`
+//! checkpoints, and measure the time of the whole crash-recover-catch-up
+//! cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_core::{Cluster, ClusterConfig};
+use abcast_types::{BatchingPolicy, ProcessId, ProtocolConfig, SimDuration};
+
+fn prepared_cluster(protocol: ProtocolConfig, rounds: usize) -> (Cluster, Vec<abcast_types::MsgId>) {
+    let mut protocol = protocol;
+    protocol.batching = BatchingPolicy::WaitForAgreed;
+    let mut cluster = Cluster::new(ClusterConfig::basic(3).with_seed(2).with_protocol(protocol));
+    let mut ids = Vec::new();
+    for i in 0..rounds {
+        if let Some(id) = cluster.broadcast(ProcessId::new((i % 2) as u32), vec![i as u8; 16]) {
+            ids.push(id);
+        }
+        cluster.run_for(SimDuration::from_millis(8));
+    }
+    let everyone: Vec<ProcessId> = cluster.processes().iter().collect();
+    assert!(cluster.run_until_delivered(&everyone, &ids, cluster.now() + SimDuration::from_secs(60)));
+    (cluster, ids)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_recovery");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let variants = [
+        ("replay_only", ProtocolConfig::basic()),
+        (
+            "checkpoint_50ms",
+            ProtocolConfig::alternative().with_checkpoint_period(SimDuration::from_millis(50)),
+        ),
+    ];
+    for (label, protocol) in variants {
+        group.bench_with_input(
+            BenchmarkId::new("crash_recover_catchup_after_30_rounds", label),
+            &protocol,
+            |b, protocol| {
+                b.iter_batched(
+                    || prepared_cluster(protocol.clone(), 30),
+                    |(mut cluster, ids)| {
+                        let victim = ProcessId::new(2);
+                        cluster.sim_mut().crash_now(victim);
+                        cluster.sim_mut().recover_now(victim);
+                        let ok = cluster.run_until_delivered(
+                            &[victim],
+                            &ids,
+                            cluster.now() + SimDuration::from_secs(60),
+                        );
+                        assert!(ok);
+                        cluster
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench for experiment E3 (state transfer, §5.3): catch-up of a
+//! process that missed 40 rounds, by replaying every missed consensus vs by
+//! receiving a `state(k, Agreed)` message.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_core::{Cluster, ClusterConfig};
+use abcast_types::{BatchingPolicy, ProcessId, ProtocolConfig, RecoveryPolicy, SimDuration};
+
+fn cluster_with_lagging_process(protocol: ProtocolConfig, missed: usize) -> (Cluster, Vec<abcast_types::MsgId>) {
+    let mut protocol = protocol;
+    protocol.batching = BatchingPolicy::WaitForAgreed;
+    let mut cluster = Cluster::new(ClusterConfig::basic(3).with_seed(3).with_protocol(protocol));
+    let victim = ProcessId::new(2);
+    cluster.sim_mut().crash_now(victim);
+    let mut ids = Vec::new();
+    for i in 0..missed {
+        if let Some(id) = cluster.broadcast(ProcessId::new((i % 2) as u32), vec![i as u8; 16]) {
+            ids.push(id);
+        }
+        cluster.run_for(SimDuration::from_millis(8));
+    }
+    let survivors = [ProcessId::new(0), ProcessId::new(1)];
+    assert!(cluster.run_until_delivered(&survivors, &ids, cluster.now() + SimDuration::from_secs(60)));
+    (cluster, ids)
+}
+
+fn bench_state_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_state_transfer");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let variants = [
+        (
+            "replay_every_missed_round",
+            ProtocolConfig {
+                recovery: RecoveryPolicy::ReplayConsensus,
+                ..ProtocolConfig::alternative()
+            },
+        ),
+        ("state_transfer_delta_4", ProtocolConfig::alternative().with_delta(4)),
+    ];
+    for (label, protocol) in variants {
+        group.bench_with_input(
+            BenchmarkId::new("catch_up_after_40_missed_rounds", label),
+            &protocol,
+            |b, protocol| {
+                b.iter_batched(
+                    || cluster_with_lagging_process(protocol.clone(), 40),
+                    |(mut cluster, ids)| {
+                        let victim = ProcessId::new(2);
+                        cluster.sim_mut().recover_now(victim);
+                        let ok = cluster.run_until_delivered(
+                            &[victim],
+                            &ids,
+                            cluster.now() + SimDuration::from_secs(120),
+                        );
+                        assert!(ok);
+                        cluster
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_transfer);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the substrates the protocol is built on: the binary
+//! codec, the stable-storage backends and the consensus fast path.  These
+//! are not paper experiments; they exist to catch performance regressions
+//! in the layers every experiment depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use abcast_consensus::ConsensusConfig;
+use abcast_core::{Cluster, ClusterConfig};
+use abcast_storage::{InMemoryStorage, StableStorage, StorageKey, TypedStorageExt};
+use abcast_types::codec::{from_bytes, to_bytes};
+use abcast_types::{AppMessage, ProcessId, ProtocolConfig, SimDuration};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_codec");
+    for payload in [16usize, 256, 4096] {
+        let batch: Vec<AppMessage> = (0..32)
+            .map(|i| AppMessage::from_parts(ProcessId::new(i % 5), i as u64, vec![7u8; payload]))
+            .collect();
+        group.throughput(Throughput::Bytes(to_bytes(&batch).len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode_batch_of_32", payload),
+            &batch,
+            |b, batch| b.iter(|| to_bytes(batch)),
+        );
+        let bytes = to_bytes(&batch);
+        group.bench_with_input(
+            BenchmarkId::new("decode_batch_of_32", payload),
+            &bytes,
+            |b, bytes| b.iter(|| from_bytes::<Vec<AppMessage>>(bytes).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_storage");
+    group.bench_function("in_memory_store_1kB", |b| {
+        let storage = InMemoryStorage::new();
+        let key = StorageKey::new("slot");
+        let value = vec![0u8; 1024];
+        b.iter(|| storage.store(&key, &value).unwrap());
+    });
+    group.bench_function("in_memory_typed_round_trip", |b| {
+        let storage = InMemoryStorage::new();
+        let key = StorageKey::new("typed");
+        let value: Vec<u64> = (0..128).collect();
+        b.iter(|| {
+            storage.store_value(&key, &value).unwrap();
+            let back: Option<Vec<u64>> = storage.load_value(&key).unwrap();
+            back
+        });
+    });
+    group.finish();
+}
+
+fn bench_consensus_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_ordering_round");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("single_broadcast_end_to_end_3_processes", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(
+                ClusterConfig::basic(3)
+                    .with_seed(11)
+                    .with_protocol(ProtocolConfig::basic())
+                    .with_consensus(ConsensusConfig::crash_recovery()),
+            );
+            let id = cluster.broadcast(ProcessId::new(0), vec![1u8; 64]).unwrap();
+            let ok = cluster.run_until_delivered(
+                &[ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)],
+                &[id],
+                cluster.now() + SimDuration::from_secs(30),
+            );
+            assert!(ok);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_storage, bench_consensus_round);
+criterion_main!(benches);

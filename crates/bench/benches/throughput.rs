@@ -1,0 +1,48 @@
+//! Criterion bench for experiment E4 (batching and throughput, §5.4): time
+//! to order a burst of messages under different maximum batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use abcast_bench::workload::run_load;
+use abcast_core::ClusterConfig;
+use abcast_types::{BatchingPolicy, ProtocolConfig, SimDuration};
+
+fn bench_throughput(c: &mut Criterion) {
+    let messages = 60usize;
+    let mut group = c.benchmark_group("E4_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(messages as u64));
+
+    let mut variants = vec![("wait_for_agreed".to_string(), ProtocolConfig::basic())];
+    for max_batch in [1usize, 16, 128] {
+        variants.push((
+            format!("early_return_batch_{max_batch}"),
+            ProtocolConfig::alternative().with_batching(BatchingPolicy::EarlyReturn { max_batch }),
+        ));
+    }
+
+    for (label, protocol) in variants {
+        group.bench_with_input(
+            BenchmarkId::new("order_burst", label),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let (_, result) = run_load(
+                        ClusterConfig::basic(3).with_seed(4).with_protocol(protocol.clone()),
+                        messages,
+                        64,
+                        SimDuration::from_micros(500),
+                    );
+                    assert!(result.all_delivered);
+                    result.rounds
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

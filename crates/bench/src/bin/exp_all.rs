@@ -1,0 +1,14 @@
+//! Runs the entire experiment suite (E1-E10) and prints every table, in
+//! both plain-text and markdown form.  Pass `--quick` for reduced sweeps.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tables = abcast_bench::experiments::run_all(quick);
+    for table in &tables {
+        table.print();
+    }
+    println!("\n---- markdown ----\n");
+    for table in &tables {
+        println!("{}", table.to_markdown());
+    }
+}

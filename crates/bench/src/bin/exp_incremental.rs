@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the 05_incremental table (see EXPERIMENTS.md).
+//!
+//! Pass `--quick` for a reduced parameter sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let table = abcast_bench::experiments::e05_incremental::run(quick);
+    table.print();
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the 01_log_ops table (see EXPERIMENTS.md).
+//!
+//! Pass `--quick` for a reduced parameter sweep.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let table = abcast_bench::experiments::e01_log_ops::run(quick);
+    table.print();
+    println!("{}", table.to_markdown());
+}

@@ -1,0 +1,111 @@
+//! E4 — Batching improves throughput (Section 5.4).
+//!
+//! Claim: "For better throughput, it may be interesting to let the
+//! application propose batches of messages to the Atomic Broadcast
+//! protocol, which are then proposed in batch to a single instance of
+//! Consensus."  We push a fixed offered load through the cluster with
+//! different maximum batch sizes (and the blocking, unbatched basic
+//! protocol) and report rounds used, throughput and delivery latency.
+
+use abcast_core::ClusterConfig;
+use abcast_types::{BatchingPolicy, ProtocolConfig, SimDuration};
+
+use crate::report::{fmt_f64, Table};
+use crate::workload::run_load;
+
+struct Variant {
+    label: &'static str,
+    protocol: ProtocolConfig,
+}
+
+fn variants() -> Vec<Variant> {
+    let mut variants = vec![Variant {
+        label: "basic, wait-for-agreed (unbatched submit)",
+        protocol: ProtocolConfig::basic(),
+    }];
+    for max_batch in [1usize, 8, 64, 256] {
+        let label: &'static str = match max_batch {
+            1 => "early-return, batch <= 1",
+            8 => "early-return, batch <= 8",
+            64 => "early-return, batch <= 64",
+            _ => "early-return, batch <= 256",
+        };
+        variants.push(Variant {
+            label,
+            protocol: ProtocolConfig::alternative()
+                .with_batching(BatchingPolicy::EarlyReturn { max_batch }),
+        });
+    }
+    variants
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Table {
+    let messages = if quick { 60 } else { 400 };
+    // A tight submission gap creates contention so batching matters.
+    let gap = SimDuration::from_micros(500);
+
+    let mut table = Table::new(
+        "E4",
+        "throughput and latency vs batching (§5.4)",
+        &[
+            "variant",
+            "messages",
+            "rounds used",
+            "msgs / round",
+            "throughput (msg/s)",
+            "mean latency (ms)",
+            "p99 latency (ms)",
+        ],
+    );
+
+    for variant in &variants() {
+        let (cluster, result) = run_load(
+            ClusterConfig::basic(3)
+                .with_seed(404)
+                .with_protocol(variant.protocol.clone()),
+            messages,
+            64,
+            gap,
+        );
+        assert!(result.all_delivered, "E4 load must complete");
+        let msgs_per_round = messages as f64 / result.rounds.max(1) as f64;
+        table.push_row(vec![
+            variant.label.to_string(),
+            messages.to_string(),
+            result.rounds.to_string(),
+            fmt_f64(msgs_per_round),
+            fmt_f64(result.throughput_msgs_per_sec),
+            fmt_f64(result.mean_latency_ms),
+            fmt_f64(result.p99_latency_ms),
+        ]);
+        drop(cluster);
+    }
+    table.note(
+        "larger batches use fewer consensus instances per message, raising throughput; \
+         the basic protocol orders whatever is pending, so under a continuous load it \
+         batches implicitly as well",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bigger_batches_use_fewer_rounds() {
+        let table = super::run(true);
+        // Row 1 = batch<=1, last row = batch<=256.
+        let rounds_small: u64 = table.rows[1][2].parse().expect("numeric");
+        let rounds_large: u64 = table.rows.last().unwrap()[2].parse().expect("numeric");
+        assert!(
+            rounds_large <= rounds_small,
+            "batch<=256 should use no more rounds ({rounds_large}) than batch<=1 ({rounds_small})"
+        );
+        let throughput_small: f64 = table.rows[1][4].parse().expect("numeric");
+        let throughput_large: f64 = table.rows.last().unwrap()[4].parse().expect("numeric");
+        assert!(
+            throughput_large >= throughput_small,
+            "batching should not reduce throughput"
+        );
+    }
+}

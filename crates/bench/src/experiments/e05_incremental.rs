@@ -1,0 +1,71 @@
+//! E5 — Incremental logging reduces bytes written (Section 5.5).
+//!
+//! Claim: "When logging a queue or a set (such as the Unordered set) only
+//! its new part (with respect to the previous logging) has to be logged."
+//! We run the alternative protocol (which logs the `Unordered` set on every
+//! `A-broadcast`) with full-value logging and with incremental logging and
+//! compare bytes written and write operations.
+
+use abcast_core::ClusterConfig;
+use abcast_types::{ProtocolConfig, SimDuration};
+
+use crate::report::{fmt_f64, Table};
+use crate::workload::run_load;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Table {
+    let messages = if quick { 50 } else { 300 };
+    let payload = 64;
+
+    let mut table = Table::new(
+        "E5",
+        "full-value vs incremental logging of the Unordered set (§5.5)",
+        &[
+            "variant",
+            "messages",
+            "write ops",
+            "bytes written",
+            "bytes / message",
+        ],
+    );
+
+    for (label, incremental) in [("full-value logging", false), ("incremental logging", true)] {
+        let protocol = ProtocolConfig::alternative().with_incremental_logging(incremental);
+        let (cluster, result) = run_load(
+            ClusterConfig::basic(3)
+                .with_seed(505)
+                .with_protocol(protocol),
+            messages,
+            payload,
+            SimDuration::from_millis(2),
+        );
+        assert!(result.all_delivered, "E5 load must complete");
+        table.push_row(vec![
+            label.to_string(),
+            messages.to_string(),
+            result.storage.write_ops().to_string(),
+            result.storage.bytes_written.to_string(),
+            fmt_f64(result.storage.bytes_written as f64 / messages as f64),
+        ]);
+        drop(cluster);
+    }
+    table.note(
+        "full-value logging rewrites the whole pending set on every broadcast, so its cost \
+         grows with the set size; incremental logging appends only the new message",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn incremental_logging_writes_fewer_bytes() {
+        let table = super::run(true);
+        let full_bytes: u64 = table.rows[0][3].parse().expect("numeric");
+        let incr_bytes: u64 = table.rows[1][3].parse().expect("numeric");
+        assert!(
+            incr_bytes < full_bytes,
+            "incremental ({incr_bytes}) must write fewer bytes than full ({full_bytes})"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The experiment suite (E1–E10).  See the crate documentation and
+//! `EXPERIMENTS.md` for the mapping from paper claims to experiments.
+
+pub mod e01_log_ops;
+pub mod e02_recovery;
+pub mod e03_state_transfer;
+pub mod e04_throughput;
+pub mod e05_incremental;
+pub mod e06_faults;
+pub mod e07_ct_comparison;
+pub mod e08_log_growth;
+pub mod e09_deferred;
+pub mod e10_quorum;
+
+use crate::report::Table;
+
+/// Runs every experiment and returns their tables in order.
+///
+/// `quick` trims the parameter sweeps so the whole suite stays fast enough
+/// for CI and for the Criterion benches; the full sweeps are used by the
+/// `exp_*` binaries.
+pub fn run_all(quick: bool) -> Vec<Table> {
+    vec![
+        e01_log_ops::run(quick),
+        e02_recovery::run(quick),
+        e03_state_transfer::run(quick),
+        e04_throughput::run(quick),
+        e05_incremental::run(quick),
+        e06_faults::run(quick),
+        e07_ct_comparison::run(quick),
+        e08_log_growth::run(quick),
+        e09_deferred::run(quick),
+        e10_quorum::run(quick),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    /// Smoke-test: every experiment runs in quick mode and produces a
+    /// non-empty table.  (This doubles as an end-to-end regression test of
+    /// the whole stack.)
+    #[test]
+    fn all_experiments_produce_tables_in_quick_mode() {
+        let tables = super::run_all(true);
+        assert_eq!(tables.len(), 10);
+        for table in &tables {
+            assert!(!table.is_empty(), "{} produced no rows", table.id);
+            assert!(!table.columns.is_empty());
+        }
+    }
+}

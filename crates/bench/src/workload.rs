@@ -1,0 +1,175 @@
+//! Shared workload driver used by the experiments and the Criterion
+//! benches.
+//!
+//! [`drive_load`] submits a stream of broadcasts into a [`Cluster`], waits
+//! for cluster-wide delivery and reports throughput, latency and logging
+//! cost — the measurements that most experiments start from.
+
+use std::collections::BTreeMap;
+
+use abcast_core::{Cluster, ClusterConfig};
+use abcast_storage::StorageSnapshot;
+use abcast_types::{MsgId, ProcessId, SimDuration, SimTime};
+
+/// Outcome of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadResult {
+    /// Number of messages that were successfully A-broadcast.
+    pub broadcast: usize,
+    /// `true` if every process delivered every message before the deadline.
+    pub all_delivered: bool,
+    /// Virtual time at which the run finished (all delivered, or deadline).
+    pub finished_at: SimTime,
+    /// Mean latency from A-broadcast to local A-delivery at the sender, in
+    /// milliseconds of virtual time (only over messages that were
+    /// delivered).
+    pub mean_latency_ms: f64,
+    /// 99th-percentile of the same latency distribution.
+    pub p99_latency_ms: f64,
+    /// Throughput in messages per virtual second (delivered messages over
+    /// the full run duration).
+    pub throughput_msgs_per_sec: f64,
+    /// Ordering rounds completed at process 0.
+    pub rounds: u64,
+    /// Cluster-wide stable-storage activity during the run.
+    pub storage: StorageSnapshot,
+    /// Messages sent over the transport during the run.
+    pub transport_sent: u64,
+}
+
+/// Submits `count` broadcasts of `payload_size` bytes, spaced `gap` apart,
+/// round-robin across all processes, then runs until every process delivers
+/// everything (or `deadline_after_load` of extra virtual time elapses).
+pub fn drive_load(
+    cluster: &mut Cluster,
+    count: usize,
+    payload_size: usize,
+    gap: SimDuration,
+    deadline_after_load: SimDuration,
+) -> LoadResult {
+    let storage_before = cluster.storage_totals();
+    let transport_before = cluster.sim().network_metrics().snapshot();
+    let started = cluster.now();
+
+    let mut submit_times: BTreeMap<MsgId, SimTime> = BTreeMap::new();
+    let processes: Vec<ProcessId> = cluster.processes().iter().collect();
+    for i in 0..count {
+        let sender = processes[i % processes.len()];
+        if !cluster.sim().is_up(sender) {
+            cluster.run_for(gap);
+            continue;
+        }
+        let payload = vec![(i % 251) as u8; payload_size];
+        let at = cluster.now();
+        if let Some(id) = cluster.broadcast(sender, payload) {
+            submit_times.insert(id, at);
+        }
+        if !gap.is_zero() {
+            cluster.run_for(gap);
+        }
+    }
+
+    let deadline = cluster.now() + deadline_after_load;
+    let all_delivered = cluster.run_until_all_delivered(deadline);
+    let finished_at = cluster.now();
+
+    // Latency: measured at the original sender, using its delivery log.
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for p in cluster.processes().iter() {
+        if let Some(actor) = cluster.sim().actor(p) {
+            for (time, id) in actor.delivery_log() {
+                if let Some(submitted) = submit_times.get(id) {
+                    if id.sender == p {
+                        latencies_ms
+                            .push(time.duration_since(*submitted).as_micros() as f64 / 1000.0);
+                    }
+                }
+            }
+        }
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mean_latency_ms = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+    };
+    let p99_latency_ms = latencies_ms
+        .get(((latencies_ms.len() as f64 * 0.99) as usize).min(latencies_ms.len().saturating_sub(1)))
+        .copied()
+        .unwrap_or(0.0);
+
+    let elapsed = finished_at.duration_since(started).as_secs_f64().max(1e-9);
+    let delivered = submit_times.len();
+    let rounds = cluster
+        .sim()
+        .actor(ProcessId::new(0))
+        .map(|a| a.metrics().rounds_completed)
+        .unwrap_or(0);
+
+    LoadResult {
+        broadcast: submit_times.len(),
+        all_delivered,
+        finished_at,
+        mean_latency_ms,
+        p99_latency_ms,
+        throughput_msgs_per_sec: delivered as f64 / elapsed,
+        rounds,
+        storage: cluster.storage_totals().since(&storage_before),
+        transport_sent: cluster.sim().network_metrics().snapshot().since(&transport_before).sent,
+    }
+}
+
+/// Convenience: builds a cluster from `config` and immediately drives a
+/// load through it.
+pub fn run_load(
+    config: ClusterConfig,
+    count: usize,
+    payload_size: usize,
+    gap: SimDuration,
+) -> (Cluster, LoadResult) {
+    let mut cluster = Cluster::new(config);
+    let result = drive_load(
+        &mut cluster,
+        count,
+        payload_size,
+        gap,
+        SimDuration::from_secs(60),
+    );
+    (cluster, result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_load_reports_consistent_numbers() {
+        let (cluster, result) = run_load(
+            ClusterConfig::basic(3).with_seed(4),
+            10,
+            16,
+            SimDuration::from_millis(5),
+        );
+        assert_eq!(result.broadcast, 10);
+        assert!(result.all_delivered, "load must be delivered");
+        assert!(result.mean_latency_ms > 0.0);
+        assert!(result.p99_latency_ms >= result.mean_latency_ms * 0.5);
+        assert!(result.throughput_msgs_per_sec > 0.0);
+        assert!(result.rounds >= 1);
+        assert!(result.storage.write_ops() > 0);
+        assert!(result.transport_sent > 0);
+        cluster.assert_properties();
+    }
+
+    #[test]
+    fn alternative_configuration_also_completes() {
+        let (_cluster, result) = run_load(
+            ClusterConfig::alternative(3).with_seed(5),
+            8,
+            8,
+            SimDuration::from_millis(4),
+        );
+        assert!(result.all_delivered);
+        assert_eq!(result.broadcast, 8);
+    }
+}

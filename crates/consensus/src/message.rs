@@ -1,0 +1,157 @@
+//! Wire messages of the consensus substrate.
+//!
+//! One [`InstanceMsg`] drives a single consensus instance (one ballot-based
+//! single-decree agreement); [`ConsensusMsg`] tags it with the instance
+//! number and multiplexes the failure-detector traffic, so the whole
+//! substrate speaks a single message type that the atomic broadcast layer
+//! can wrap.
+
+use abcast_fd::FdMessage;
+use abcast_types::{Ballot, Round};
+
+/// Protocol messages of one consensus instance.
+///
+/// The protocol is the classic two-phase ballot protocol (Synod) adapted to
+/// the crash-recovery model: acceptors persist their promises and accepts
+/// before answering, proposers persist their proposal before their first
+/// message (which is the log operation the paper counts, Section 4.3), and
+/// decisions are persisted and re-announced on request so that recovering
+/// processes can learn them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceMsg<V> {
+    /// Phase 1a: the ballot coordinator asks acceptors to promise.
+    Prepare {
+        /// The ballot being started.
+        ballot: Ballot,
+    },
+    /// Phase 1b: an acceptor promises not to accept lower ballots and
+    /// reports its most recently accepted value, if any.
+    Promise {
+        /// The ballot being promised.
+        ballot: Ballot,
+        /// The acceptor's last accepted `(ballot, value)`, if any.
+        accepted: Option<(Ballot, V)>,
+    },
+    /// Phase 2a: the coordinator asks acceptors to accept `value` under
+    /// `ballot`.
+    AcceptRequest {
+        /// The ballot carrying the value.
+        ballot: Ballot,
+        /// The value to accept.
+        value: V,
+    },
+    /// Phase 2b: an acceptor accepted the value of `ballot`.
+    Accepted {
+        /// The ballot whose value was accepted.
+        ballot: Ballot,
+    },
+    /// An acceptor rejects `ballot` because it already promised
+    /// `promised > ballot`; lets the coordinator move to a higher ballot
+    /// immediately.
+    Nack {
+        /// The rejected ballot.
+        ballot: Ballot,
+        /// The ballot the acceptor is bound to.
+        promised: Ballot,
+    },
+    /// The decision of this instance (sent by anyone who knows it).
+    Decided {
+        /// The decided value.
+        value: V,
+    },
+    /// "If you know the decision of this instance, please tell me."
+    /// Sent periodically by undecided participants; answered with
+    /// [`InstanceMsg::Decided`].
+    Query,
+}
+
+impl<V> InstanceMsg<V> {
+    /// Short label used in traces and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            InstanceMsg::Prepare { .. } => "prepare",
+            InstanceMsg::Promise { .. } => "promise",
+            InstanceMsg::AcceptRequest { .. } => "accept-request",
+            InstanceMsg::Accepted { .. } => "accepted",
+            InstanceMsg::Nack { .. } => "nack",
+            InstanceMsg::Decided { .. } => "decided",
+            InstanceMsg::Query => "query",
+        }
+    }
+}
+
+/// Top-level message type of the consensus substrate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConsensusMsg<V> {
+    /// Failure-detector traffic (heartbeats).
+    Fd(FdMessage),
+    /// A message belonging to consensus instance `instance`.
+    Instance {
+        /// Which consensus instance (= broadcast round) this belongs to.
+        instance: Round,
+        /// The instance-level message.
+        msg: InstanceMsg<V>,
+    },
+}
+
+impl<V> ConsensusMsg<V> {
+    /// Convenience constructor for an instance message.
+    pub fn instance(instance: Round, msg: InstanceMsg<V>) -> Self {
+        ConsensusMsg::Instance { instance, msg }
+    }
+
+    /// Short label used in traces and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConsensusMsg::Fd(_) => "fd",
+            ConsensusMsg::Instance { msg, .. } => msg.kind(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_types::ProcessId;
+
+    #[test]
+    fn kinds_are_stable_labels() {
+        let b = Ballot::new(1, ProcessId::new(0));
+        assert_eq!(InstanceMsg::<u64>::Prepare { ballot: b }.kind(), "prepare");
+        assert_eq!(
+            InstanceMsg::<u64>::Promise {
+                ballot: b,
+                accepted: None
+            }
+            .kind(),
+            "promise"
+        );
+        assert_eq!(
+            InstanceMsg::AcceptRequest { ballot: b, value: 3u64 }.kind(),
+            "accept-request"
+        );
+        assert_eq!(InstanceMsg::<u64>::Accepted { ballot: b }.kind(), "accepted");
+        assert_eq!(
+            InstanceMsg::<u64>::Nack {
+                ballot: b,
+                promised: b
+            }
+            .kind(),
+            "nack"
+        );
+        assert_eq!(InstanceMsg::Decided { value: 1u64 }.kind(), "decided");
+        assert_eq!(InstanceMsg::<u64>::Query.kind(), "query");
+    }
+
+    #[test]
+    fn top_level_kinds() {
+        let m: ConsensusMsg<u64> = ConsensusMsg::Fd(FdMessage::Heartbeat { epoch: 1 });
+        assert_eq!(m.kind(), "fd");
+        let m = ConsensusMsg::instance(Round::new(3), InstanceMsg::Decided { value: 5u64 });
+        assert_eq!(m.kind(), "decided");
+        assert!(matches!(
+            m,
+            ConsensusMsg::Instance { instance, .. } if instance == Round::new(3)
+        ));
+    }
+}

@@ -1,0 +1,516 @@
+//! The consensus *module* used by the atomic broadcast layer: a numbered
+//! family of consensus instances behind the paper's `propose`/`decided`
+//! interface (Section 3.2).
+//!
+//! [`MultiConsensus`] owns one [`ConsensusInstance`] per round, an embedded
+//! heartbeat failure detector that provides the Ω leader used to drive
+//! ballots, and a single periodic driver timer.  The atomic broadcast actor
+//! embeds it and forwards messages and timers to it; everything the paper
+//! requires of the black box holds:
+//!
+//! * `propose(k, v)` is idempotent and logs the proposal as its first
+//!   operation;
+//! * `decided(k)` returns the same value every time it terminates
+//!   (property P5), at every process (Uniform Agreement);
+//! * after a crash, [`MultiConsensus::on_start`] rebuilds every instance
+//!   from "the log of proposed and agreed values (which is kept internally
+//!   by Consensus)" — exactly what the paper's recovery procedure parses.
+
+use std::collections::BTreeMap;
+
+use abcast_fd::{FdConfig, HeartbeatFd, FD_TIMER_SPAN};
+use abcast_net::{ActorContext, MappedContext, TimerId};
+use abcast_storage::keys;
+use abcast_types::{ProcessId, Round};
+
+use crate::config::{ConsensusConfig, FailureModel};
+use crate::instance::{ConsensusInstance, ConsensusValue};
+use crate::message::ConsensusMsg;
+
+/// Driver timer of the consensus module, in its own timer namespace (the
+/// failure detector occupies `[0, FD_TIMER_SPAN)`).
+pub const CONSENSUS_TICK: TimerId = TimerId::new(FD_TIMER_SPAN);
+
+/// Number of timer identities the consensus module uses (failure detector
+/// included); parents embedding it reserve this span.
+pub const CONSENSUS_TIMER_SPAN: u64 = FD_TIMER_SPAN + 1;
+
+/// A decision freshly learned by the local process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionEvent<V> {
+    /// The instance that decided.
+    pub instance: Round,
+    /// The decided value.
+    pub value: V,
+}
+
+/// Numbered consensus instances plus the failure detector driving them.
+#[derive(Debug)]
+pub struct MultiConsensus<V> {
+    config: ConsensusConfig,
+    fd: HeartbeatFd,
+    instances: BTreeMap<Round, ConsensusInstance<V>>,
+}
+
+impl<V: ConsensusValue> MultiConsensus<V> {
+    /// Creates a consensus module with the given configuration.
+    pub fn new(config: ConsensusConfig) -> Self {
+        let fd_config: FdConfig = config.fd;
+        MultiConsensus {
+            config,
+            fd: HeartbeatFd::new(fd_config),
+            instances: BTreeMap::new(),
+        }
+    }
+
+    fn persist(&self) -> bool {
+        self.config.failure_model == FailureModel::CrashRecovery
+    }
+
+    /// Starts the module, or restarts it after a recovery: reloads every
+    /// instance found on stable storage, starts the failure detector and
+    /// arms the driver timer.
+    pub fn on_start(&mut self, ctx: &mut dyn ActorContext<ConsensusMsg<V>>) {
+        if self.persist() {
+            if let Ok(stored_keys) = ctx.storage().keys() {
+                for key in stored_keys {
+                    if let Some(instance) = keys::parse_consensus_instance(&key) {
+                        if !self.instances.contains_key(&instance) {
+                            if let Ok(recovered) = ConsensusInstance::recover(
+                                instance,
+                                true,
+                                ctx.storage(),
+                            ) {
+                                self.instances.insert(instance, recovered);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let mut fd_ctx = MappedContext::new(ctx, ConsensusMsg::Fd, 0);
+            self.fd.on_start(&mut fd_ctx);
+        }
+        ctx.set_timer(CONSENSUS_TICK, self.config.retransmit_period);
+    }
+
+    /// The paper's `propose(k, proposed)`: proposes `value` to instance
+    /// `k`.  Idempotent — re-proposing after a crash keeps the logged
+    /// value.
+    pub fn propose(
+        &mut self,
+        k: Round,
+        value: V,
+        ctx: &mut dyn ActorContext<ConsensusMsg<V>>,
+    ) {
+        let persist = self.persist();
+        let me = ctx.me();
+        let is_leader = self.fd.leader(me) == me;
+        let instance = self
+            .instances
+            .entry(k)
+            .or_insert_with(|| ConsensusInstance::new(k, persist));
+        let mut inst_ctx = MappedContext::new(
+            ctx,
+            move |msg| ConsensusMsg::Instance { instance: k, msg },
+            CONSENSUS_TIMER_SPAN,
+        );
+        instance.propose(value, &mut inst_ctx);
+        // If this process currently holds the leadership, start the ballot
+        // right away instead of waiting for the next driver tick — the tick
+        // remains as the retransmission fallback.  This keeps decision
+        // latency at a few network round-trips rather than a timer period.
+        if is_leader && !instance.is_decided() {
+            instance.tick(true, &mut inst_ctx);
+        }
+    }
+
+    /// The paper's `decided(k)`: the decision of instance `k`, if known
+    /// locally.
+    pub fn decision(&self, k: Round) -> Option<&V> {
+        self.instances.get(&k).and_then(|i| i.decision())
+    }
+
+    /// The value this process proposed to instance `k`, if any (`Proposed_p[k]`
+    /// read back through the consensus interface, as the paper's recovery
+    /// procedure does).
+    pub fn proposal(&self, k: Round) -> Option<&V> {
+        self.instances.get(&k).and_then(|i| i.proposal())
+    }
+
+    /// `true` if this process has proposed to instance `k`.
+    pub fn has_proposed(&self, k: Round) -> bool {
+        self.proposal(k).is_some()
+    }
+
+    /// Every decision known locally, in instance order.
+    pub fn decisions(&self) -> impl Iterator<Item = (Round, &V)> + '_ {
+        self.instances
+            .iter()
+            .filter_map(|(k, i)| i.decision().map(|v| (*k, v)))
+    }
+
+    /// The highest instance known locally to be decided.
+    pub fn highest_decided(&self) -> Option<Round> {
+        self.decisions().map(|(k, _)| k).max()
+    }
+
+    /// The highest instance this process has proposed to.
+    pub fn highest_proposed(&self) -> Option<Round> {
+        self.instances
+            .iter()
+            .filter(|(_, i)| i.has_proposal())
+            .map(|(k, _)| *k)
+            .max()
+    }
+
+    /// Number of instances currently tracked (decided and undecided).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Current Ω output of the embedded failure detector.
+    pub fn leader(&self, me: ProcessId) -> ProcessId {
+        self.fd.leader(me)
+    }
+
+    /// Read-only access to the embedded failure detector.
+    pub fn failure_detector(&self) -> &HeartbeatFd {
+        &self.fd
+    }
+
+    /// Drops the bookkeeping of every *decided* instance strictly below
+    /// `before`, keeping only its decision out of reach of the protocol.
+    ///
+    /// The atomic broadcast layer calls this after an application-level
+    /// checkpoint (Section 5.2) made the old instances unnecessary; the
+    /// corresponding stable-storage records can also be discarded
+    /// (Figure 4, line *c*), which the caller does through its storage
+    /// handle.
+    pub fn forget_decided_below(&mut self, before: Round) {
+        self.instances
+            .retain(|k, i| *k >= before || !i.is_decided());
+    }
+
+    /// Handles one incoming consensus-module message.  Returns every
+    /// decision newly learned while processing it.
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: ConsensusMsg<V>,
+        ctx: &mut dyn ActorContext<ConsensusMsg<V>>,
+    ) -> Vec<DecisionEvent<V>> {
+        match msg {
+            ConsensusMsg::Fd(fd_msg) => {
+                let mut fd_ctx = MappedContext::new(ctx, ConsensusMsg::Fd, 0);
+                self.fd.on_message(from, fd_msg, &mut fd_ctx);
+                Vec::new()
+            }
+            ConsensusMsg::Instance { instance: k, msg } => {
+                let persist = self.persist();
+                let instance = self
+                    .instances
+                    .entry(k)
+                    .or_insert_with(|| ConsensusInstance::new(k, persist));
+                let mut inst_ctx = MappedContext::new(
+                    ctx,
+                    move |msg| ConsensusMsg::Instance { instance: k, msg },
+                    CONSENSUS_TIMER_SPAN,
+                );
+                match instance.on_message(from, msg, &mut inst_ctx) {
+                    Some(value) => vec![DecisionEvent { instance: k, value }],
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// Handles a timer belonging to the consensus module's namespace.
+    /// Returns `(handled, newly decided)`.
+    pub fn on_timer(
+        &mut self,
+        timer: TimerId,
+        ctx: &mut dyn ActorContext<ConsensusMsg<V>>,
+    ) -> (bool, Vec<DecisionEvent<V>>) {
+        if timer.raw() < FD_TIMER_SPAN {
+            let mut fd_ctx = MappedContext::new(ctx, ConsensusMsg::Fd, 0);
+            let handled = self.fd.on_timer(timer, &mut fd_ctx);
+            return (handled, Vec::new());
+        }
+        if timer != CONSENSUS_TICK {
+            return (false, Vec::new());
+        }
+        let me = ctx.me();
+        let is_leader = self.fd.leader(me) == me;
+        let mut decided = Vec::new();
+        for (k, instance) in self.instances.iter_mut() {
+            if instance.is_decided() {
+                continue;
+            }
+            let k = *k;
+            let mut inst_ctx = MappedContext::new(
+                ctx,
+                move |msg| ConsensusMsg::Instance { instance: k, msg },
+                CONSENSUS_TIMER_SPAN,
+            );
+            if let Some(value) = instance.tick(is_leader, &mut inst_ctx) {
+                decided.push(DecisionEvent { instance: k, value });
+            }
+        }
+        ctx.set_timer(CONSENSUS_TICK, self.config.retransmit_period);
+        (true, decided)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::InstanceMsg;
+    use abcast_net::{Actor, ActorContext};
+    use abcast_sim::{FaultPlan, SimConfig, Simulation};
+    use abcast_storage::SharedStorage;
+    use abcast_types::{ProcessId, SimDuration, SimTime};
+
+    /// Test actor: proposes `base + k` to instances `0..instances_to_run`
+    /// as soon as it starts, and records decisions.
+    struct ConsensusActor {
+        multi: MultiConsensus<u64>,
+        base: u64,
+        instances_to_run: u64,
+        decided: BTreeMap<Round, u64>,
+    }
+
+    impl ConsensusActor {
+        fn new(me: ProcessId, instances_to_run: u64, config: ConsensusConfig) -> Self {
+            ConsensusActor {
+                multi: MultiConsensus::new(config),
+                base: (me.as_u32() as u64 + 1) * 1000,
+                instances_to_run,
+                decided: BTreeMap::new(),
+            }
+        }
+
+        fn absorb(&mut self, events: Vec<DecisionEvent<u64>>) {
+            for e in events {
+                self.decided.insert(e.instance, e.value);
+            }
+        }
+    }
+
+    impl Actor for ConsensusActor {
+        type Msg = ConsensusMsg<u64>;
+
+        fn on_start(&mut self, ctx: &mut dyn ActorContext<Self::Msg>) {
+            self.multi.on_start(ctx);
+            for k in 0..self.instances_to_run {
+                let round = Round::new(k);
+                self.multi.propose(round, self.base + k, ctx);
+            }
+            // Decisions already on stable storage are immediately available.
+            let known: Vec<(Round, u64)> =
+                self.multi.decisions().map(|(k, v)| (k, *v)).collect();
+            for (k, v) in known {
+                self.decided.insert(k, v);
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut dyn ActorContext<Self::Msg>) {
+            let events = self.multi.on_message(from, msg, ctx);
+            self.absorb(events);
+        }
+
+        fn on_timer(&mut self, timer: abcast_net::TimerId, ctx: &mut dyn ActorContext<Self::Msg>) {
+            let (_, events) = self.multi.on_timer(timer, ctx);
+            self.absorb(events);
+        }
+    }
+
+    fn run_sim(
+        n: usize,
+        instances: u64,
+        seed: u64,
+        plan: FaultPlan,
+        horizon: SimDuration,
+    ) -> Simulation<ConsensusActor> {
+        let mut sim = Simulation::new(SimConfig::lan(n).with_seed(seed), move |p, _s: SharedStorage| {
+            ConsensusActor::new(p, instances, ConsensusConfig::default())
+        });
+        plan.apply(&mut sim);
+        let deadline = SimTime::ZERO + horizon;
+        sim.run_until(deadline, |sim| {
+            // Every process must be up again *and* have decided everything;
+            // treating down processes as satisfied would stop the run
+            // before they recover.
+            sim.processes().iter().all(|p| {
+                sim.actor(p)
+                    .map(|a| a.decided.len() as u64 >= instances)
+                    .unwrap_or(false)
+            })
+        });
+        sim
+    }
+
+    fn assert_agreement(sim: &Simulation<ConsensusActor>, instances: u64) {
+        let mut agreed: BTreeMap<Round, u64> = BTreeMap::new();
+        for p in sim.processes().iter() {
+            let Some(actor) = sim.actor(p) else { continue };
+            for k in 0..instances {
+                let round = Round::new(k);
+                if let Some(v) = actor.decided.get(&round) {
+                    let entry = agreed.entry(round).or_insert(*v);
+                    assert_eq!(entry, v, "{p} decided differently in instance {round}");
+                    // Validity: the decided value was proposed by someone.
+                    assert_eq!(*v % 1000, k, "decision {v} was never proposed");
+                    let proposer = *v / 1000 - 1;
+                    assert!((proposer as usize) < sim.processes().len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_processes_decide_the_same_proposed_values() {
+        let instances = 3;
+        let sim = run_sim(3, instances, 1, FaultPlan::none(), SimDuration::from_secs(5));
+        for p in sim.processes().iter() {
+            assert_eq!(
+                sim.actor(p).unwrap().decided.len() as u64,
+                instances,
+                "{p} did not decide every instance"
+            );
+        }
+        assert_agreement(&sim, instances);
+    }
+
+    #[test]
+    fn decisions_survive_a_minority_of_crashes() {
+        let instances = 2;
+        let plan = FaultPlan::none()
+            .crash_for(ProcessId::new(2), SimTime::from_micros(2_000), SimDuration::from_millis(400))
+            .crash_for(ProcessId::new(4), SimTime::from_micros(5_000), SimDuration::from_millis(300));
+        let sim = run_sim(5, instances, 3, plan, SimDuration::from_secs(10));
+        for p in sim.processes().iter() {
+            assert_eq!(
+                sim.actor(p).unwrap().decided.len() as u64,
+                instances,
+                "{p} did not decide every instance despite being good"
+            );
+        }
+        assert_agreement(&sim, instances);
+    }
+
+    #[test]
+    fn leader_crash_does_not_block_termination() {
+        let instances = 2;
+        // p0 is the initial leader; crash it for a long stretch.
+        let plan = FaultPlan::none().crash_for(
+            ProcessId::new(0),
+            SimTime::from_micros(2_000),
+            SimDuration::from_secs(2),
+        );
+        let sim = run_sim(3, instances, 5, plan, SimDuration::from_secs(15));
+        for p in sim.processes().iter() {
+            assert_eq!(
+                sim.actor(p).unwrap().decided.len() as u64,
+                instances,
+                "{p} missing decisions after leader crash"
+            );
+        }
+        assert_agreement(&sim, instances);
+    }
+
+    #[test]
+    fn recovered_process_relearns_decisions_from_stable_storage_and_peers() {
+        let instances = 2;
+        let plan = FaultPlan::none().crash_for(
+            ProcessId::new(1),
+            SimTime::from_micros(1_000),
+            SimDuration::from_millis(800),
+        );
+        let sim = run_sim(3, instances, 7, plan, SimDuration::from_secs(10));
+        let recovered = sim.actor(ProcessId::new(1)).unwrap();
+        assert_eq!(recovered.decided.len() as u64, instances);
+        assert_agreement(&sim, instances);
+        assert_eq!(sim.process_stats(ProcessId::new(1)).recoveries, 1);
+    }
+
+    #[test]
+    fn proposals_are_idempotent_across_recovery() {
+        // A process crashes right after proposing; after recovery it
+        // re-proposes a *different* value, but the logged value must win
+        // (property P4).
+        let mut sim = Simulation::new(SimConfig::lan(3).with_seed(9), |p, _s: SharedStorage| {
+            ConsensusActor::new(p, 1, ConsensusConfig::default())
+        });
+        // Let everyone propose and decide.
+        sim.run_until(SimTime::from_micros(5_000_000), |sim| {
+            sim.processes()
+                .iter()
+                .all(|p| sim.actor(p).map(|a| !a.decided.is_empty()).unwrap_or(false))
+        });
+        let decided_value = *sim
+            .actor(ProcessId::new(0))
+            .unwrap()
+            .decided
+            .get(&Round::new(0))
+            .unwrap();
+
+        // Crash and recover p0; on recovery it proposes the same instance
+        // again (its constructor does), which must not change anything.
+        sim.crash_now(ProcessId::new(0));
+        sim.recover_now(ProcessId::new(0));
+        sim.run_for(SimDuration::from_millis(500));
+        let after = *sim
+            .actor(ProcessId::new(0))
+            .unwrap()
+            .decided
+            .get(&Round::new(0))
+            .unwrap();
+        assert_eq!(after, decided_value, "decision changed across recovery");
+    }
+
+    #[test]
+    fn crash_stop_mode_decides_without_logging() {
+        let mut sim = Simulation::new(SimConfig::lan(3).with_seed(2), |p, _s: SharedStorage| {
+            ConsensusActor::new(p, 1, ConsensusConfig::crash_stop())
+        });
+        sim.run_until(SimTime::from_micros(5_000_000), |sim| {
+            sim.processes()
+                .iter()
+                .all(|p| sim.actor(p).map(|a| !a.decided.is_empty()).unwrap_or(false))
+        });
+        for p in sim.processes().iter() {
+            assert!(!sim.actor(p).unwrap().decided.is_empty());
+            // Only the failure detector's epoch record was written.
+            let writes = sim.storage_for(p).metrics().write_ops();
+            assert!(
+                writes <= 1,
+                "{p} performed {writes} stable-storage writes in crash-stop mode"
+            );
+        }
+    }
+
+    #[test]
+    fn forget_decided_below_drops_old_instances() {
+        let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
+        let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
+        multi.on_start(&mut ctx);
+        for k in 0..5u64 {
+            multi.propose(Round::new(k), k, &mut ctx);
+            // Simulate a decision arriving.
+            multi.on_message(
+                ProcessId::new(1),
+                ConsensusMsg::instance(Round::new(k), InstanceMsg::Decided { value: k }),
+                &mut ctx,
+            );
+        }
+        assert_eq!(multi.instance_count(), 5);
+        assert_eq!(multi.highest_decided(), Some(Round::new(4)));
+        assert_eq!(multi.highest_proposed(), Some(Round::new(4)));
+        multi.forget_decided_below(Round::new(3));
+        assert_eq!(multi.instance_count(), 2);
+        assert_eq!(multi.decision(Round::new(4)), Some(&4));
+        assert_eq!(multi.decision(Round::new(1)), None);
+    }
+}

@@ -1,0 +1,366 @@
+//! Simulation harness for whole atomic broadcast deployments.
+//!
+//! Tests, benchmarks and the experiment binaries all need the same thing: a
+//! cluster of `n` processes running [`AtomicBroadcast`] under the
+//! deterministic simulator, with helpers to broadcast messages, inject
+//! faults, run until delivery and check the Section 2.2 properties.
+//! [`Cluster`] packages exactly that.
+
+use std::collections::BTreeSet;
+
+use abcast_consensus::ConsensusConfig;
+use abcast_net::LinkConfig;
+use abcast_sim::{FaultPlan, SimConfig, SimStats, Simulation};
+use abcast_storage::StorageSnapshot;
+use abcast_types::{
+    AppMessage, MsgId, ProcessId, ProcessSet, ProtocolConfig, SimDuration, SimTime,
+};
+
+use crate::properties::{check_all, Violation};
+use crate::protocol::AtomicBroadcast;
+use crate::queues::AgreedQueue;
+
+/// Configuration of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of processes.
+    pub processes: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Link behaviour.
+    pub link: LinkConfig,
+    /// Atomic broadcast configuration (basic / alternative / naive).
+    pub protocol: ProtocolConfig,
+    /// Consensus configuration (crash-recovery / crash-stop).
+    pub consensus: ConsensusConfig,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` processes running the basic protocol over a
+    /// LAN-like lossy link.
+    pub fn basic(n: usize) -> Self {
+        ClusterConfig {
+            processes: n,
+            seed: 0,
+            link: LinkConfig::lan(),
+            protocol: ProtocolConfig::basic(),
+            consensus: ConsensusConfig::crash_recovery(),
+        }
+    }
+
+    /// A cluster of `n` processes running the alternative protocol
+    /// (Section 5) over a LAN-like lossy link.
+    pub fn alternative(n: usize) -> Self {
+        ClusterConfig {
+            protocol: ProtocolConfig::alternative(),
+            ..ClusterConfig::basic(n)
+        }
+    }
+
+    /// Returns this configuration with another seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns this configuration with another link model.
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Returns this configuration with another protocol configuration.
+    pub fn with_protocol(mut self, protocol: ProtocolConfig) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Returns this configuration with another consensus configuration.
+    pub fn with_consensus(mut self, consensus: ConsensusConfig) -> Self {
+        self.consensus = consensus;
+        self
+    }
+}
+
+/// A simulated deployment of [`AtomicBroadcast`] processes.
+pub struct Cluster {
+    sim: Simulation<AtomicBroadcast>,
+    broadcast_ids: BTreeSet<MsgId>,
+}
+
+impl Cluster {
+    /// Builds and starts the cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let protocol = config.protocol.clone();
+        let consensus = config.consensus.clone();
+        let sim = Simulation::new(
+            SimConfig {
+                processes: config.processes,
+                seed: config.seed,
+                link: config.link.clone(),
+            },
+            move |_p, _storage| AtomicBroadcast::new(protocol.clone(), consensus.clone()),
+        );
+        Cluster {
+            sim,
+            broadcast_ids: BTreeSet::new(),
+        }
+    }
+
+    /// The underlying simulation (for fault injection, link manipulation,
+    /// storage inspection and custom predicates).
+    pub fn sim(&self) -> &Simulation<AtomicBroadcast> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulation.
+    pub fn sim_mut(&mut self) -> &mut Simulation<AtomicBroadcast> {
+        &mut self.sim
+    }
+
+    /// The set of processes.
+    pub fn processes(&self) -> ProcessSet {
+        self.sim.processes().clone()
+    }
+
+    /// A-broadcasts `payload` at process `p` right now.  Returns the
+    /// assigned identity, or `None` if `p` is currently down.
+    pub fn broadcast(&mut self, p: ProcessId, payload: impl Into<Vec<u8>>) -> Option<MsgId> {
+        let payload = payload.into();
+        let id = self
+            .sim
+            .with_actor_mut(p, |actor, ctx| actor.a_broadcast(payload, ctx))?;
+        self.broadcast_ids.insert(id);
+        Some(id)
+    }
+
+    /// Broadcasts `count` messages of `payload_size` bytes, round-robin
+    /// over the processes that are currently up, spaced `gap` apart in
+    /// virtual time.  Returns the identities actually broadcast.
+    pub fn broadcast_spread(
+        &mut self,
+        count: usize,
+        payload_size: usize,
+        gap: SimDuration,
+    ) -> Vec<MsgId> {
+        let processes: Vec<ProcessId> = self.sim.processes().iter().collect();
+        let mut ids = Vec::new();
+        for i in 0..count {
+            let p = processes[i % processes.len()];
+            if !self.sim.is_up(p) {
+                // Skip processes that are down at submission time; the
+                // message is considered never broadcast (Section 4.2).
+                self.sim.run_for(gap);
+                continue;
+            }
+            let payload = vec![(i % 251) as u8; payload_size];
+            if let Some(id) = self.broadcast(p, payload) {
+                ids.push(id);
+            }
+            if !gap.is_zero() {
+                self.sim.run_for(gap);
+            }
+        }
+        ids
+    }
+
+    /// Applies a fault plan to the cluster.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        plan.apply(&mut self.sim);
+    }
+
+    /// Runs for `duration` of virtual time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.sim.run_for(duration);
+    }
+
+    /// Runs until every process in `who` is up and has delivered every
+    /// identity in `ids`, or until `deadline`.  Returns `true` on success.
+    pub fn run_until_delivered(
+        &mut self,
+        who: &[ProcessId],
+        ids: &[MsgId],
+        deadline: SimTime,
+    ) -> bool {
+        let who = who.to_vec();
+        let ids = ids.to_vec();
+        self.sim.run_until(deadline, |sim| {
+            who.iter().all(|p| {
+                sim.actor(*p)
+                    .map(|a| ids.iter().all(|id| a.is_delivered(*id)))
+                    .unwrap_or(false)
+            })
+        })
+    }
+
+    /// Convenience: runs until every *currently configured* process has
+    /// delivered all identities ever broadcast through this harness.
+    pub fn run_until_all_delivered(&mut self, deadline: SimTime) -> bool {
+        let everyone: Vec<ProcessId> = self.sim.processes().iter().collect();
+        let ids: Vec<MsgId> = self.broadcast_ids.iter().copied().collect();
+        self.run_until_delivered(&everyone, &ids, deadline)
+    }
+
+    /// The delivery sequence of process `p` (`None` while it is down).
+    pub fn agreed(&self, p: ProcessId) -> Option<&AgreedQueue> {
+        self.sim.actor(p).map(AtomicBroadcast::agreed)
+    }
+
+    /// The explicitly delivered messages of `p`.
+    pub fn delivered(&self, p: ProcessId) -> Vec<AppMessage> {
+        self.sim
+            .actor(p)
+            .map(|a| a.delivered_messages().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Identities ever broadcast through this harness.
+    pub fn broadcast_ids(&self) -> &BTreeSet<MsgId> {
+        &self.broadcast_ids
+    }
+
+    /// Identities delivered by at least one currently-up process.
+    pub fn delivered_by_any(&self) -> BTreeSet<MsgId> {
+        let mut out = BTreeSet::new();
+        for p in self.sim.processes().iter() {
+            if let Some(actor) = self.sim.actor(p) {
+                for id in &self.broadcast_ids {
+                    if actor.is_delivered(*id) {
+                        out.insert(*id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks Validity, Integrity, Total Order and Termination over the
+    /// current state, treating `good` as the good processes and requiring
+    /// them to have delivered `must_deliver`.
+    pub fn check_properties(
+        &self,
+        good: &[ProcessId],
+        must_deliver: &BTreeSet<MsgId>,
+    ) -> Vec<Violation> {
+        let queues: Vec<&AgreedQueue> = self
+            .sim
+            .processes()
+            .iter()
+            .filter_map(|p| self.sim.actor(p).map(AtomicBroadcast::agreed))
+            .collect();
+        let good_indices: Vec<usize> = good.iter().map(|p| p.index()).collect();
+        check_all(&queues, &good_indices, &self.broadcast_ids, must_deliver)
+    }
+
+    /// Asserts that all four properties hold; panics with the violations
+    /// otherwise.  `good` defaults to every currently-up process and
+    /// `must_deliver` to everything delivered by anyone.
+    pub fn assert_properties(&self) {
+        let good: Vec<ProcessId> = self
+            .sim
+            .processes()
+            .iter()
+            .filter(|p| self.sim.is_up(*p))
+            .collect();
+        let must = self.delivered_by_any();
+        let violations = self.check_properties(&good, &must);
+        assert!(violations.is_empty(), "property violations: {violations:#?}");
+    }
+
+    /// Total stable-storage write operations and bytes across the cluster.
+    pub fn storage_totals(&self) -> StorageSnapshot {
+        self.sim
+            .processes()
+            .iter()
+            .map(|p| self.sim.storage_for(p).metrics().snapshot())
+            .fold(StorageSnapshot::default(), |acc, s| acc.plus(&s))
+    }
+
+    /// Stable-storage counters of one process.
+    pub fn storage_of(&self, p: ProcessId) -> StorageSnapshot {
+        self.sim.storage_for(p).metrics().snapshot()
+    }
+
+    /// Simulation statistics (events, crashes, recoveries).
+    pub fn stats(&self) -> SimStats {
+        self.sim.stats()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_types::SimDuration;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn three_process_cluster_delivers_a_message_everywhere_in_order() {
+        let mut cluster = Cluster::new(ClusterConfig::basic(3).with_seed(1));
+        let id = cluster.broadcast(p(0), b"hello".to_vec()).unwrap();
+        let ok = cluster.run_until_all_delivered(SimTime::from_micros(5_000_000));
+        assert!(ok, "message {id} was not delivered everywhere in time");
+        for q in [p(0), p(1), p(2)] {
+            let delivered = cluster.delivered(q);
+            assert_eq!(delivered.len(), 1);
+            assert_eq!(delivered[0].id(), id);
+            assert_eq!(delivered[0].payload().as_ref(), b"hello");
+        }
+        cluster.assert_properties();
+    }
+
+    #[test]
+    fn broadcasts_from_every_process_are_totally_ordered() {
+        let mut cluster = Cluster::new(ClusterConfig::basic(3).with_seed(2));
+        let ids = cluster.broadcast_spread(12, 16, SimDuration::from_millis(3));
+        assert_eq!(ids.len(), 12);
+        let ok = cluster.run_until_all_delivered(SimTime::from_micros(20_000_000));
+        assert!(ok, "not all messages delivered in time");
+        let reference = cluster.delivered(p(0));
+        assert_eq!(reference.len(), 12);
+        for q in [p(1), p(2)] {
+            assert_eq!(cluster.delivered(q), reference, "sequences differ at {q}");
+        }
+        cluster.assert_properties();
+        // Rounds were actually used to order (at least one, at most one per
+        // message).
+        let rounds = cluster.sim().actor(p(0)).unwrap().metrics().rounds_completed;
+        assert!(rounds >= 1 && rounds <= 12 + 2, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn alternative_protocol_also_orders_and_checkpoints() {
+        let mut cluster = Cluster::new(ClusterConfig::alternative(3).with_seed(3));
+        cluster.broadcast_spread(10, 8, SimDuration::from_millis(5));
+        let ok = cluster.run_until_all_delivered(SimTime::from_micros(20_000_000));
+        assert!(ok);
+        // Let the checkpoint task run.
+        cluster.run_for(SimDuration::from_millis(500));
+        cluster.assert_properties();
+        let metrics = cluster.sim().actor(p(1)).unwrap().metrics().clone();
+        assert!(metrics.agreed_checkpoints_logged > 0);
+        assert!(metrics.app_checkpoints_taken > 0);
+    }
+
+    #[test]
+    fn identical_seeds_yield_identical_histories() {
+        let run = |seed| {
+            let mut cluster = Cluster::new(ClusterConfig::basic(3).with_seed(seed));
+            cluster.broadcast_spread(6, 4, SimDuration::from_millis(2));
+            cluster.run_for(SimDuration::from_secs(3));
+            (
+                cluster.delivered(p(0)),
+                cluster.delivered(p(1)),
+                cluster.stats(),
+            )
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

@@ -1,0 +1,93 @@
+//! Wire messages of the atomic broadcast protocol.
+//!
+//! Three kinds of traffic share the process-to-process channel:
+//!
+//! * `gossip(k, Unordered)` — the periodic dissemination of the round
+//!   counter and the unordered set (Figure 2, gossip task);
+//! * `state(k, Agreed)` — the state-transfer message of the alternative
+//!   protocol (Figure 3, lines *d*–*f*);
+//! * the consensus substrate's own messages, wrapped verbatim.
+
+use abcast_consensus::ConsensusMsg;
+use abcast_types::{AppMessage, Round};
+
+use crate::queues::{AgreedQueue, Batch};
+
+/// Top-level message type exchanged by atomic broadcast processes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AbcastMsg {
+    /// `gossip(k_p, Unordered_p)`: the sender's current round and unordered
+    /// messages.
+    Gossip {
+        /// The sender's current round `k_p`.
+        round: Round,
+        /// The sender's `Unordered_p` set.
+        unordered: Vec<AppMessage>,
+    },
+    /// `state(k, Agreed)`: a snapshot of the sender's delivery sequence,
+    /// sent to a process that lagged behind by more than Δ rounds.
+    State {
+        /// The last round reflected in the snapshot (`k_p − 1` at the
+        /// sender).
+        round: Round,
+        /// The sender's delivery sequence (checkpoint plus explicit
+        /// messages).
+        agreed: AgreedQueue,
+    },
+    /// A message of the consensus substrate (failure detector heartbeats or
+    /// instance messages).
+    Consensus(ConsensusMsg<Batch>),
+}
+
+impl AbcastMsg {
+    /// Short label used in traces and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AbcastMsg::Gossip { .. } => "gossip",
+            AbcastMsg::State { .. } => "state",
+            AbcastMsg::Consensus(inner) => inner.kind(),
+        }
+    }
+
+    /// `true` for gossip messages.
+    pub fn is_gossip(&self) -> bool {
+        matches!(self, AbcastMsg::Gossip { .. })
+    }
+
+    /// `true` for state-transfer messages.
+    pub fn is_state(&self) -> bool {
+        matches!(self, AbcastMsg::State { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_consensus::InstanceMsg;
+    use abcast_types::ProcessId;
+
+    #[test]
+    fn kinds_and_predicates() {
+        let gossip = AbcastMsg::Gossip {
+            round: Round::new(3),
+            unordered: vec![AppMessage::from_parts(ProcessId::new(0), 0, b"x".to_vec())],
+        };
+        assert_eq!(gossip.kind(), "gossip");
+        assert!(gossip.is_gossip());
+        assert!(!gossip.is_state());
+
+        let state = AbcastMsg::State {
+            round: Round::new(5),
+            agreed: AgreedQueue::new(),
+        };
+        assert_eq!(state.kind(), "state");
+        assert!(state.is_state());
+
+        let consensus = AbcastMsg::Consensus(ConsensusMsg::instance(
+            Round::new(1),
+            InstanceMsg::Decided { value: Batch::new() },
+        ));
+        assert_eq!(consensus.kind(), "decided");
+        assert!(!consensus.is_gossip());
+    }
+}

@@ -1,0 +1,248 @@
+//! A bounded-output (suspect-list) failure detector.
+//!
+//! Section 3.5 distinguishes two families of failure detectors for the
+//! crash-recovery model: detectors whose output is a bounded list of
+//! suspects (Hurfin–Mostéfaoui–Raynal, Oliveira–Guerraoui–Schiper) and
+//! detectors with unbounded epoch outputs (Aguilera–Chen–Toueg,
+//! [`crate::HeartbeatFd`]).  This module provides the bounded flavour: it
+//! answers only "whom do I currently suspect?", with the usual
+//! eventually-accurate behaviour obtained by raising a peer's timeout every
+//! time a suspicion turns out premature.
+//!
+//! The consensus substrate uses the epoch-based detector by default; this
+//! one exists for completeness, for experiments that want to compare the
+//! two and for deployments that prefer bounded detector state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use abcast_net::{ActorContext, TimerId};
+use abcast_types::{ProcessId, SimDuration, SimTime};
+
+/// Wire message of the suspect-list detector: a plain "I am alive" ping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alive;
+
+/// Timer used by the detector (inside its own timer namespace).
+pub const SUSPECT_TICK: TimerId = TimerId::new(0);
+
+/// Number of timer identities the detector uses.
+pub const SUSPECT_TIMER_SPAN: u64 = 1;
+
+/// Configuration of the suspect-list detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspectListConfig {
+    /// Period between "alive" pings (and timeout checks).
+    pub ping_period: SimDuration,
+    /// Initial suspicion timeout.
+    pub initial_timeout: SimDuration,
+    /// Added to a peer's timeout whenever a suspicion proves premature.
+    pub timeout_increment: SimDuration,
+}
+
+impl Default for SuspectListConfig {
+    fn default() -> Self {
+        SuspectListConfig {
+            ping_period: SimDuration::from_millis(10),
+            initial_timeout: SimDuration::from_millis(60),
+            timeout_increment: SimDuration::from_millis(20),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PeerState {
+    last_heard: SimTime,
+    timeout: SimDuration,
+    suspected: bool,
+    wrong_suspicions: u64,
+}
+
+/// A failure detector whose only output is the current list of suspects.
+#[derive(Debug, Default)]
+pub struct SuspectListFd {
+    config: SuspectListConfig,
+    peers: BTreeMap<ProcessId, PeerState>,
+    started: bool,
+}
+
+impl SuspectListFd {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: SuspectListConfig) -> Self {
+        SuspectListFd {
+            config,
+            peers: BTreeMap::new(),
+            started: false,
+        }
+    }
+
+    /// Starts (or restarts) the detector: trusts everyone and arms the
+    /// ping timer.  Unlike the epoch-based detector it keeps *no* state on
+    /// stable storage — its output is bounded and fully reconstructible.
+    pub fn on_start(&mut self, ctx: &mut dyn ActorContext<Alive>) {
+        let now = ctx.now();
+        let me = ctx.me();
+        self.peers.clear();
+        for p in ctx.processes().iter().filter(|p| *p != me) {
+            self.peers.insert(
+                p,
+                PeerState {
+                    last_heard: now,
+                    timeout: self.config.initial_timeout,
+                    suspected: false,
+                    wrong_suspicions: 0,
+                },
+            );
+        }
+        self.started = true;
+        ctx.multisend(Alive);
+        ctx.set_timer(SUSPECT_TICK, self.config.ping_period);
+    }
+
+    /// Handles an `Alive` ping.
+    pub fn on_message(&mut self, from: ProcessId, _msg: Alive, ctx: &mut dyn ActorContext<Alive>) {
+        if from == ctx.me() {
+            return;
+        }
+        let now = ctx.now();
+        let initial = self.config.initial_timeout;
+        let increment = self.config.timeout_increment;
+        let entry = self.peers.entry(from).or_insert(PeerState {
+            last_heard: now,
+            timeout: initial,
+            suspected: false,
+            wrong_suspicions: 0,
+        });
+        entry.last_heard = now;
+        if entry.suspected {
+            entry.suspected = false;
+            entry.wrong_suspicions += 1;
+            entry.timeout = entry.timeout + increment;
+        }
+    }
+
+    /// Handles the detector's tick.  Returns `true` if the timer belonged
+    /// to this detector.
+    pub fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<Alive>) -> bool {
+        if timer != SUSPECT_TICK {
+            return false;
+        }
+        ctx.multisend(Alive);
+        let now = ctx.now();
+        for state in self.peers.values_mut() {
+            if !state.suspected && now.duration_since(state.last_heard) > state.timeout {
+                state.suspected = true;
+            }
+        }
+        ctx.set_timer(SUSPECT_TICK, self.config.ping_period);
+        true
+    }
+
+    /// The detector's output: the current list of suspects.
+    pub fn suspects(&self) -> BTreeSet<ProcessId> {
+        self.peers
+            .iter()
+            .filter(|(_, s)| s.suspected)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// `true` if `p` is currently suspected.
+    pub fn is_suspected(&self, p: ProcessId) -> bool {
+        self.peers.get(&p).map(|s| s.suspected).unwrap_or(false)
+    }
+
+    /// Number of times a suspicion of `p` has been retracted — a measure of
+    /// how badly the timeout is calibrated for that peer.
+    pub fn wrong_suspicions_of(&self, p: ProcessId) -> u64 {
+        self.peers.get(&p).map(|s| s.wrong_suspicions).unwrap_or(0)
+    }
+
+    /// `true` once `on_start` has run.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_net::testkit::ScriptedContext;
+
+    type Ctx = ScriptedContext<Alive>;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn started(me: u32, n: usize) -> (SuspectListFd, Ctx) {
+        let mut fd = SuspectListFd::new(SuspectListConfig::default());
+        let mut ctx = ScriptedContext::new(p(me), n);
+        fd.on_start(&mut ctx);
+        (fd, ctx)
+    }
+
+    #[test]
+    fn starts_trusting_everyone_and_pings() {
+        let (fd, ctx) = started(0, 3);
+        assert!(fd.is_started());
+        assert!(fd.suspects().is_empty());
+        assert_eq!(ctx.multisent.len(), 1);
+        assert!(ctx.timer_deadline(SUSPECT_TICK).is_some());
+    }
+
+    #[test]
+    fn silence_beyond_the_timeout_causes_suspicion() {
+        let (mut fd, mut ctx) = started(0, 3);
+        // Hear from p1 but not p2, then advance beyond the timeout.
+        ctx.advance(SimDuration::from_millis(50));
+        fd.on_message(p(1), Alive, &mut ctx);
+        ctx.advance(SimDuration::from_millis(40)); // p2 silent for 90 ms > 60 ms
+        fd.on_timer(SUSPECT_TICK, &mut ctx);
+        assert!(!fd.is_suspected(p(1)));
+        assert!(fd.is_suspected(p(2)));
+        assert_eq!(fd.suspects(), [p(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn hearing_from_a_suspect_retracts_and_raises_its_timeout() {
+        let (mut fd, mut ctx) = started(0, 2);
+        ctx.advance(SimDuration::from_millis(100));
+        fd.on_timer(SUSPECT_TICK, &mut ctx);
+        assert!(fd.is_suspected(p(1)));
+
+        fd.on_message(p(1), Alive, &mut ctx);
+        assert!(!fd.is_suspected(p(1)));
+        assert_eq!(fd.wrong_suspicions_of(p(1)), 1);
+
+        // The raised timeout means the same silence no longer suspects.
+        ctx.advance(SimDuration::from_millis(70));
+        fd.on_timer(SUSPECT_TICK, &mut ctx);
+        assert!(!fd.is_suspected(p(1)), "timeout should have been raised to 80 ms");
+        ctx.advance(SimDuration::from_millis(20));
+        fd.on_timer(SUSPECT_TICK, &mut ctx);
+        assert!(fd.is_suspected(p(1)), "eventually silence is still suspected");
+    }
+
+    #[test]
+    fn own_pings_are_ignored_and_ticks_rearm() {
+        let (mut fd, mut ctx) = started(1, 3);
+        fd.on_message(p(1), Alive, &mut ctx);
+        assert!(fd.suspects().is_empty());
+        assert!(!fd.on_timer(TimerId::new(99), &mut ctx));
+        assert!(fd.on_timer(SUSPECT_TICK, &mut ctx));
+        assert!(ctx.timer_deadline(SUSPECT_TICK).is_some());
+        assert_eq!(fd.wrong_suspicions_of(p(9)), 0);
+    }
+
+    #[test]
+    fn restart_clears_all_suspicions() {
+        let (mut fd, mut ctx) = started(0, 2);
+        ctx.advance(SimDuration::from_millis(200));
+        fd.on_timer(SUSPECT_TICK, &mut ctx);
+        assert!(fd.is_suspected(p(1)));
+        fd.on_start(&mut ctx);
+        assert!(fd.suspects().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Transport substrate and process runtime abstractions.
+//!
+//! Section 3.1 of the paper assumes an unreliable but *fair* transport: the
+//! channel may lose or duplicate messages and delay them arbitrarily, but a
+//! message sent infinitely often is received infinitely often.  This crate
+//! provides:
+//!
+//! * [`Actor`] / [`ActorContext`] — the event-driven process abstraction
+//!   shared by the deterministic simulator (`abcast-sim`) and the
+//!   thread-based runtime, including the crash-recovery contract (volatile
+//!   state dropped on crash, `on_start` re-run on recovery);
+//! * [`MappedContext`] — composition adapter that lets the atomic broadcast
+//!   actor embed consensus and failure-detector components speaking their
+//!   own message types;
+//! * [`LinkConfig`] / [`LinkModel`] — the fair-lossy link model (loss,
+//!   duplication, arbitrary delay, partitions);
+//! * [`ThreadRuntime`] — a live, one-thread-per-process runtime used by the
+//!   runnable examples;
+//! * [`NetworkMetrics`] — transport counters used by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod link;
+pub mod metrics;
+pub mod runtime;
+pub mod testkit;
+
+pub use actor::{Actor, ActorContext, ActorFactory, MappedContext, TimerId};
+pub use link::{LinkConfig, LinkModel, PlannedDelivery};
+pub use metrics::{NetworkMetrics, NetworkSnapshot};
+pub use runtime::{RuntimeConfig, ThreadRuntime};

@@ -1,0 +1,359 @@
+//! Fair-lossy link model (Section 3.1).
+//!
+//! "Both `send` and `multisend` are unreliable: the channel can lose
+//! messages but it is assumed to be fair, i.e., if a message is sent
+//! infinitely often by a process p then it is received infinitely often by
+//! its receiver.  […]  Channels are not necessarily FIFO; moreover, they can
+//! duplicate messages.  Message transfer delays are finite but arbitrary."
+//!
+//! [`LinkConfig`] parameterises loss probability, duplication probability
+//! and the delay distribution; [`LinkModel`] turns one send into the set of
+//! delayed deliveries it produces, using a caller-supplied random number
+//! generator so the decision sequence is reproducible under a seeded RNG.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use abcast_types::{ProcessId, SimDuration};
+
+/// Parameters of one (directed) link or of the whole network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Probability in `[0, 1)` that a given transmission is lost.
+    ///
+    /// Fairness requires this to be strictly below 1: a message sent
+    /// infinitely often is then received infinitely often.
+    pub loss_probability: f64,
+    /// Probability in `[0, 1)` that a transmission is duplicated (the copy
+    /// is subject to its own delay).
+    pub duplication_probability: f64,
+    /// Minimum one-way delay.
+    pub min_delay: SimDuration,
+    /// Maximum one-way delay (inclusive).  Delays are drawn uniformly from
+    /// `[min_delay, max_delay]`.
+    pub max_delay: SimDuration,
+}
+
+impl LinkConfig {
+    /// A perfectly reliable link with a fixed small delay — useful for unit
+    /// tests that are not about the network.
+    pub fn reliable() -> Self {
+        LinkConfig {
+            loss_probability: 0.0,
+            duplication_probability: 0.0,
+            min_delay: SimDuration::from_millis(1),
+            max_delay: SimDuration::from_millis(1),
+        }
+    }
+
+    /// A typical local-area network: low loss, small jitter.
+    pub fn lan() -> Self {
+        LinkConfig {
+            loss_probability: 0.001,
+            duplication_probability: 0.0005,
+            min_delay: SimDuration::from_micros(200),
+            max_delay: SimDuration::from_millis(2),
+        }
+    }
+
+    /// A lossy wide-area network: noticeable loss, large jitter,
+    /// duplications.
+    pub fn lossy_wan() -> Self {
+        LinkConfig {
+            loss_probability: 0.05,
+            duplication_probability: 0.01,
+            min_delay: SimDuration::from_millis(5),
+            max_delay: SimDuration::from_millis(50),
+        }
+    }
+
+    /// Returns this configuration with the given loss probability.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_probability = p;
+        self
+    }
+
+    /// Returns this configuration with the given duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplication_probability = p;
+        self
+    }
+
+    /// Returns this configuration with the given delay bounds.
+    pub fn with_delay(mut self, min: SimDuration, max: SimDuration) -> Self {
+        self.min_delay = min;
+        self.max_delay = max;
+        self
+    }
+
+    /// Checks that the configuration describes a *fair* lossy link.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.loss_probability) {
+            return Err(format!(
+                "loss probability {} outside [0, 1): the link would not be fair",
+                self.loss_probability
+            ));
+        }
+        if !(0.0..1.0).contains(&self.duplication_probability) {
+            return Err(format!(
+                "duplication probability {} outside [0, 1)",
+                self.duplication_probability
+            ));
+        }
+        if self.min_delay > self.max_delay {
+            return Err(format!(
+                "min delay {:?} exceeds max delay {:?}",
+                self.min_delay, self.max_delay
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::lan()
+    }
+}
+
+/// One planned delivery of a transmitted message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedDelivery {
+    /// Delay after the send instant at which the copy arrives.
+    pub delay: SimDuration,
+    /// `true` when this copy exists because the link duplicated the
+    /// original transmission.
+    pub duplicate: bool,
+}
+
+/// Network-wide link behaviour: a base configuration plus optional
+/// per-direction partitions.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    config: LinkConfig,
+    /// Pairs `(from, to)` that are currently cut (messages silently lost).
+    partitions: Vec<(ProcessId, ProcessId)>,
+}
+
+impl LinkModel {
+    /// Creates a model in which every directed link follows `config`.
+    pub fn new(config: LinkConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid link configuration");
+        LinkModel {
+            config,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Cuts the directed link `from → to`: every transmission on it is lost
+    /// until [`LinkModel::heal`] is called.  Used to simulate partitions.
+    pub fn cut(&mut self, from: ProcessId, to: ProcessId) {
+        if !self.partitions.contains(&(from, to)) {
+            self.partitions.push((from, to));
+        }
+    }
+
+    /// Cuts both directions between `a` and `b`.
+    pub fn cut_both(&mut self, a: ProcessId, b: ProcessId) {
+        self.cut(a, b);
+        self.cut(b, a);
+    }
+
+    /// Restores the directed link `from → to`.
+    pub fn heal(&mut self, from: ProcessId, to: ProcessId) {
+        self.partitions.retain(|pair| *pair != (from, to));
+    }
+
+    /// Restores every cut link.
+    pub fn heal_all(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// `true` if the directed link `from → to` is currently cut.
+    pub fn is_cut(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.partitions.contains(&(from, to))
+    }
+
+    /// Decides the fate of one transmission `from → to`: the (possibly
+    /// empty) list of copies that will be delivered and their delays.
+    pub fn plan<R: Rng + ?Sized>(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        rng: &mut R,
+    ) -> Vec<PlannedDelivery> {
+        if self.is_cut(from, to) {
+            return Vec::new();
+        }
+        let mut deliveries = Vec::new();
+        if !rng.gen_bool(self.config.loss_probability) {
+            deliveries.push(PlannedDelivery {
+                delay: self.sample_delay(rng),
+                duplicate: false,
+            });
+        }
+        if rng.gen_bool(self.config.duplication_probability) {
+            deliveries.push(PlannedDelivery {
+                delay: self.sample_delay(rng),
+                duplicate: true,
+            });
+        }
+        deliveries
+    }
+
+    fn sample_delay<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let min = self.config.min_delay.as_micros();
+        let max = self.config.max_delay.as_micros();
+        if min >= max {
+            return SimDuration::from_micros(min);
+        }
+        SimDuration::from_micros(rng.gen_range(min..=max))
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::new(LinkConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        for config in [
+            LinkConfig::reliable(),
+            LinkConfig::lan(),
+            LinkConfig::lossy_wan(),
+            LinkConfig::default(),
+        ] {
+            assert!(config.validate().is_ok(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(LinkConfig::reliable().with_loss(1.0).validate().is_err());
+        assert!(LinkConfig::reliable().with_loss(-0.1).validate().is_err());
+        assert!(LinkConfig::reliable()
+            .with_duplication(1.5)
+            .validate()
+            .is_err());
+        assert!(LinkConfig::reliable()
+            .with_delay(SimDuration::from_millis(10), SimDuration::from_millis(1))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn reliable_link_delivers_exactly_once_with_fixed_delay() {
+        let model = LinkModel::new(LinkConfig::reliable());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let plan = model.plan(p(0), p(1), &mut rng);
+            assert_eq!(plan.len(), 1);
+            assert_eq!(plan[0].delay, SimDuration::from_millis(1));
+            assert!(!plan[0].duplicate);
+        }
+    }
+
+    #[test]
+    fn lossy_link_loses_roughly_the_configured_fraction() {
+        let model = LinkModel::new(
+            LinkConfig::reliable()
+                .with_loss(0.3)
+                .with_delay(SimDuration::from_millis(1), SimDuration::from_millis(5)),
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 10_000;
+        let delivered: usize = (0..trials)
+            .map(|_| {
+                model
+                    .plan(p(0), p(1), &mut rng)
+                    .iter()
+                    .filter(|d| !d.duplicate)
+                    .count()
+            })
+            .sum();
+        let rate = delivered as f64 / trials as f64;
+        assert!(
+            (rate - 0.7).abs() < 0.03,
+            "delivery rate {rate} too far from 0.7"
+        );
+    }
+
+    #[test]
+    fn duplication_produces_extra_copies() {
+        let model = LinkModel::new(LinkConfig::reliable().with_duplication(0.5));
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 4_000;
+        let copies: usize = (0..trials)
+            .map(|_| model.plan(p(0), p(1), &mut rng).len())
+            .sum();
+        let average = copies as f64 / trials as f64;
+        assert!(
+            (average - 1.5).abs() < 0.05,
+            "average copies {average} too far from 1.5"
+        );
+    }
+
+    #[test]
+    fn delays_stay_within_bounds() {
+        let min = SimDuration::from_millis(2);
+        let max = SimDuration::from_millis(9);
+        let model = LinkModel::new(LinkConfig::reliable().with_delay(min, max));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            for d in model.plan(p(0), p(1), &mut rng) {
+                assert!(d.delay >= min && d.delay <= max, "delay {:?}", d.delay);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cut_and_heal() {
+        let mut model = LinkModel::new(LinkConfig::reliable());
+        let mut rng = StdRng::seed_from_u64(5);
+        model.cut(p(0), p(1));
+        assert!(model.is_cut(p(0), p(1)));
+        assert!(!model.is_cut(p(1), p(0)));
+        assert!(model.plan(p(0), p(1), &mut rng).is_empty());
+        assert_eq!(model.plan(p(1), p(0), &mut rng).len(), 1);
+
+        model.cut_both(p(1), p(2));
+        assert!(model.is_cut(p(1), p(2)) && model.is_cut(p(2), p(1)));
+
+        model.heal(p(0), p(1));
+        assert!(!model.is_cut(p(0), p(1)));
+        model.heal_all();
+        assert!(!model.is_cut(p(1), p(2)));
+    }
+
+    #[test]
+    fn planning_is_deterministic_for_a_given_seed() {
+        let model = LinkModel::new(LinkConfig::lossy_wan());
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100)
+                .map(|_| model.plan(p(0), p(1), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -1,0 +1,155 @@
+//! Transport-level metrics.
+//!
+//! Experiments E3/E4/E6 report message counts alongside latency, so both
+//! runtimes count transmissions, deliveries, losses and duplications in a
+//! shared [`NetworkMetrics`] handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Thread-safe transport counters; clones share the same counters.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkMetrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    lost_receiver_down: AtomicU64,
+}
+
+/// Point-in-time copy of the transport counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkSnapshot {
+    /// Transmissions requested by `send`/`multisend` (one per destination).
+    pub sent: u64,
+    /// Copies actually handed to an up process.
+    pub delivered: u64,
+    /// Transmissions dropped by the lossy link.
+    pub dropped: u64,
+    /// Extra copies created by link duplication.
+    pub duplicated: u64,
+    /// Copies that arrived while the destination process was down and were
+    /// therefore lost (Section 2.1).
+    pub lost_receiver_down: u64,
+}
+
+impl NetworkSnapshot {
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &NetworkSnapshot) -> NetworkSnapshot {
+        NetworkSnapshot {
+            sent: self.sent.saturating_sub(earlier.sent),
+            delivered: self.delivered.saturating_sub(earlier.delivered),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+            duplicated: self.duplicated.saturating_sub(earlier.duplicated),
+            lost_receiver_down: self
+                .lost_receiver_down
+                .saturating_sub(earlier.lost_receiver_down),
+        }
+    }
+}
+
+impl NetworkMetrics {
+    /// Creates fresh counters, all zero.
+    pub fn new() -> Self {
+        NetworkMetrics::default()
+    }
+
+    /// Records one requested transmission.
+    pub fn record_sent(&self) {
+        self.inner.sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one successful delivery to an up process.
+    pub fn record_delivered(&self) {
+        self.inner.delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transmission dropped by the link.
+    pub fn record_dropped(&self) {
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duplicated copy created by the link.
+    pub fn record_duplicated(&self) {
+        self.inner.duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one copy lost because the destination was down.
+    pub fn record_lost_receiver_down(&self) {
+        self.inner.lost_receiver_down.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the counters.
+    pub fn snapshot(&self) -> NetworkSnapshot {
+        NetworkSnapshot {
+            sent: self.inner.sent.load(Ordering::Relaxed),
+            delivered: self.inner.delivered.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+            duplicated: self.inner.duplicated.load(Ordering::Relaxed),
+            lost_receiver_down: self.inner.lost_receiver_down.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total transmissions requested so far.
+    pub fn sent(&self) -> u64 {
+        self.inner.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total deliveries so far.
+    pub fn delivered(&self) -> u64 {
+        self.inner.delivered.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = NetworkMetrics::new();
+        m.record_sent();
+        m.record_sent();
+        m.record_delivered();
+        m.record_dropped();
+        m.record_duplicated();
+        m.record_lost_receiver_down();
+        let s = m.snapshot();
+        assert_eq!(s.sent, 2);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.duplicated, 1);
+        assert_eq!(s.lost_receiver_down, 1);
+        assert_eq!(m.sent(), 2);
+        assert_eq!(m.delivered(), 1);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = NetworkMetrics::new();
+        let m2 = m.clone();
+        m.record_sent();
+        m2.record_sent();
+        assert_eq!(m.sent(), 2);
+    }
+
+    #[test]
+    fn since_differences_counters() {
+        let m = NetworkMetrics::new();
+        m.record_sent();
+        let before = m.snapshot();
+        m.record_sent();
+        m.record_delivered();
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.sent, 1);
+        assert_eq!(delta.delivered, 1);
+        assert_eq!(delta.dropped, 0);
+    }
+}

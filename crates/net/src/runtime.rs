@@ -1,0 +1,516 @@
+//! Thread-based runtime: one OS thread per process, real time, crossbeam
+//! channels as the (optionally lossy) transport.
+//!
+//! The deterministic simulator in `abcast-sim` is the tool of choice for
+//! experiments and tests; this runtime exists so the examples can run the
+//! very same [`Actor`] implementations as a live multi-threaded system, with
+//! operator-style controls: crash a process, recover it, inject client
+//! requests and inspect its state.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use abcast_storage::{SharedStorage, StorageRegistry};
+use abcast_types::{ProcessId, ProcessSet, SimDuration, SimTime};
+
+use crate::actor::{Actor, ActorContext, TimerId};
+use crate::link::LinkConfig;
+use crate::metrics::NetworkMetrics;
+
+enum Input<A: Actor> {
+    Message {
+        from: ProcessId,
+        msg: A::Msg,
+    },
+    ClientRequest(bytes::Bytes),
+    Crash,
+    Recover,
+    Inspect(Box<dyn FnOnce(&A) + Send>),
+    Shutdown,
+}
+
+/// Configuration of the thread runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Link behaviour applied to every transmission.  Only the loss and
+    /// duplication probabilities are honoured; delays are whatever the OS
+    /// scheduler produces.
+    pub link: LinkConfig,
+    /// Seed for the per-process random number generators.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            link: LinkConfig::reliable(),
+            seed: 0xABCA57,
+        }
+    }
+}
+
+/// A live deployment of `n` processes, each running one [`Actor`] on its own
+/// thread.
+pub struct ThreadRuntime<A: Actor> {
+    senders: Vec<Sender<Input<A>>>,
+    handles: Vec<JoinHandle<()>>,
+    processes: ProcessSet,
+    storage: StorageRegistry,
+    metrics: NetworkMetrics,
+}
+
+impl<A: Actor> ThreadRuntime<A> {
+    /// Starts `n` processes, building each actor with `factory` and its
+    /// stable storage from `storage`.
+    ///
+    /// The factory is invoked again on every recovery, with the same
+    /// process identity and the same storage handle.
+    pub fn start<F>(
+        n: usize,
+        storage: StorageRegistry,
+        config: RuntimeConfig,
+        factory: F,
+    ) -> Self
+    where
+        F: Fn(ProcessId, SharedStorage) -> A + Send + Sync + 'static,
+    {
+        assert_eq!(storage.len(), n, "one storage per process is required");
+        let factory = Arc::new(factory);
+        let processes = ProcessSet::new(n);
+        let metrics = NetworkMetrics::new();
+
+        let channels: Vec<(Sender<Input<A>>, Receiver<Input<A>>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Input<A>>> =
+            channels.iter().map(|(s, _)| s.clone()).collect();
+
+        let mut handles = Vec::with_capacity(n);
+        for (index, (_, receiver)) in channels.into_iter().enumerate() {
+            let me = ProcessId::new(index as u32);
+            let my_storage = storage
+                .storage_for(me)
+                .expect("registry covers every process");
+            let worker = Worker {
+                me,
+                processes: processes.clone(),
+                storage: my_storage,
+                peers: senders.clone(),
+                receiver,
+                factory: factory.clone(),
+                link: config.link.clone(),
+                metrics: metrics.clone(),
+                rng: StdRng::seed_from_u64(config.seed ^ (index as u64).wrapping_mul(0x9E37)),
+                epoch: Instant::now(),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("abcast-{me}"))
+                    .spawn(move || worker.run())
+                    .expect("failed to spawn process thread"),
+            );
+        }
+
+        ThreadRuntime {
+            senders,
+            handles,
+            processes,
+            storage,
+            metrics,
+        }
+    }
+
+    /// The set of processes of this deployment.
+    pub fn processes(&self) -> &ProcessSet {
+        &self.processes
+    }
+
+    /// The storage registry backing this deployment.
+    pub fn storage(&self) -> &StorageRegistry {
+        &self.storage
+    }
+
+    /// Transport metrics of this deployment.
+    pub fn metrics(&self) -> &NetworkMetrics {
+        &self.metrics
+    }
+
+    fn sender(&self, p: ProcessId) -> &Sender<Input<A>> {
+        &self.senders[p.index()]
+    }
+
+    /// Delivers a client request (e.g. an `A-broadcast` payload) to process
+    /// `p`.
+    pub fn client_request(&self, p: ProcessId, payload: impl Into<bytes::Bytes>) {
+        let _ = self.sender(p).send(Input::ClientRequest(payload.into()));
+    }
+
+    /// Crashes process `p`: its volatile state is dropped and all messages
+    /// that arrive while it is down are lost.
+    pub fn crash(&self, p: ProcessId) {
+        let _ = self.sender(p).send(Input::Crash);
+    }
+
+    /// Recovers process `p`: a fresh actor is built and `on_start` runs its
+    /// recovery procedure.
+    pub fn recover(&self, p: ProcessId) {
+        let _ = self.sender(p).send(Input::Recover);
+    }
+
+    /// Runs `f` against the live actor of process `p` and returns its
+    /// result, or `None` if the process is currently down.
+    ///
+    /// The closure runs on the process thread, so it observes a consistent
+    /// snapshot between two handler invocations.
+    pub fn inspect<R, F>(&self, p: ProcessId, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&A) -> R + Send + 'static,
+    {
+        let (tx, rx) = bounded(1);
+        let probe = Box::new(move |actor: &A| {
+            let _ = tx.send(f(actor));
+        });
+        if self.sender(p).send(Input::Inspect(probe)).is_err() {
+            return None;
+        }
+        rx.recv_timeout(Duration::from_secs(5)).ok()
+    }
+
+    /// Polls `f` on process `p` until it returns `Some`, or until `timeout`
+    /// elapses.
+    pub fn wait_for<R, F>(&self, p: ProcessId, timeout: Duration, f: F) -> Option<R>
+    where
+        R: Send + 'static,
+        F: Fn(&A) -> Option<R> + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let deadline = Instant::now() + timeout;
+        loop {
+            let probe = f.clone();
+            if let Some(Some(result)) = self.inspect(p, move |a| probe(a)) {
+                return Some(result);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Shuts every process down and joins the threads.
+    pub fn shutdown(mut self) {
+        for sender in &self.senders {
+            let _ = sender.send(Input::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct Worker<A: Actor> {
+    me: ProcessId,
+    processes: ProcessSet,
+    storage: SharedStorage,
+    peers: Vec<Sender<Input<A>>>,
+    receiver: Receiver<Input<A>>,
+    factory: Arc<dyn Fn(ProcessId, SharedStorage) -> A + Send + Sync>,
+    link: LinkConfig,
+    metrics: NetworkMetrics,
+    rng: StdRng,
+    epoch: Instant,
+}
+
+impl<A: Actor> Worker<A> {
+    fn run(mut self) {
+        let mut actor = Some((self.factory)(self.me, self.storage.clone()));
+        let mut timers: BTreeMap<TimerId, SimTime> = BTreeMap::new();
+        if let Some(a) = actor.as_mut() {
+            let mut ctx = self.context(&mut timers);
+            a.on_start(&mut ctx);
+        }
+
+        loop {
+            let now = self.now();
+            let next_deadline = timers.values().min().copied();
+            let wait = match next_deadline {
+                Some(deadline) if actor.is_some() => {
+                    Duration::from_micros(deadline.as_micros().saturating_sub(now.as_micros()))
+                }
+                _ => Duration::from_millis(50),
+            };
+
+            match self.receiver.recv_timeout(wait) {
+                Ok(Input::Message { from, msg }) => {
+                    if let Some(a) = actor.as_mut() {
+                        self.metrics.record_delivered();
+                        let mut ctx = self.context(&mut timers);
+                        a.on_message(from, msg, &mut ctx);
+                    } else {
+                        self.metrics.record_lost_receiver_down();
+                    }
+                }
+                Ok(Input::ClientRequest(payload)) => {
+                    if let Some(a) = actor.as_mut() {
+                        let mut ctx = self.context(&mut timers);
+                        a.on_client_request(payload, &mut ctx);
+                    }
+                }
+                Ok(Input::Crash) => {
+                    actor = None;
+                    timers.clear();
+                }
+                Ok(Input::Recover) => {
+                    if actor.is_none() {
+                        let mut fresh = (self.factory)(self.me, self.storage.clone());
+                        let mut ctx = self.context(&mut timers);
+                        fresh.on_start(&mut ctx);
+                        actor = Some(fresh);
+                    }
+                }
+                Ok(Input::Inspect(probe)) => {
+                    if let Some(a) = actor.as_ref() {
+                        probe(a);
+                    }
+                }
+                Ok(Input::Shutdown) => break,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+
+            // Fire due timers.
+            if let Some(a) = actor.as_mut() {
+                loop {
+                    let now = self.now();
+                    let due: Vec<TimerId> = timers
+                        .iter()
+                        .filter(|(_, deadline)| **deadline <= now)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    if due.is_empty() {
+                        break;
+                    }
+                    for id in due {
+                        timers.remove(&id);
+                        let mut ctx = self.context(&mut timers);
+                        a.on_timer(id, &mut ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn context<'a>(&'a mut self, timers: &'a mut BTreeMap<TimerId, SimTime>) -> WorkerContext<'a, A> {
+        let now = self.now();
+        WorkerContext {
+            worker: self,
+            timers,
+            now,
+        }
+    }
+}
+
+struct WorkerContext<'a, A: Actor> {
+    worker: &'a mut Worker<A>,
+    timers: &'a mut BTreeMap<TimerId, SimTime>,
+    now: SimTime,
+}
+
+impl<'a, A: Actor> WorkerContext<'a, A> {
+    fn transmit(&mut self, to: ProcessId, msg: A::Msg) {
+        self.worker.metrics.record_sent();
+        if self
+            .worker
+            .rng
+            .gen_bool(self.worker.link.loss_probability)
+        {
+            self.worker.metrics.record_dropped();
+            return;
+        }
+        let duplicate = self
+            .worker
+            .rng
+            .gen_bool(self.worker.link.duplication_probability);
+        let sender = &self.worker.peers[to.index()];
+        let _ = sender.send(Input::Message {
+            from: self.worker.me,
+            msg: msg.clone(),
+        });
+        if duplicate {
+            self.worker.metrics.record_duplicated();
+            let _ = sender.send(Input::Message {
+                from: self.worker.me,
+                msg,
+            });
+        }
+    }
+}
+
+impl<'a, A: Actor> ActorContext<A::Msg> for WorkerContext<'a, A> {
+    fn me(&self) -> ProcessId {
+        self.worker.me
+    }
+
+    fn processes(&self) -> &ProcessSet {
+        &self.worker.processes
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn send(&mut self, to: ProcessId, msg: A::Msg) {
+        self.transmit(to, msg);
+    }
+
+    fn multisend(&mut self, msg: A::Msg) {
+        for to in self.worker.processes.clone().iter() {
+            self.transmit(to, msg.clone());
+        }
+    }
+
+    fn set_timer(&mut self, timer: TimerId, delay: SimDuration) {
+        let deadline = self.now + delay;
+        self.timers.insert(timer, deadline);
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.timers.remove(&timer);
+    }
+
+    fn storage(&self) -> &SharedStorage {
+        &self.worker.storage
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.worker.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_storage::{StorageKey, TypedStorageExt};
+
+    /// A tiny actor used to exercise the runtime: every `tick` timer it
+    /// multisends a counter, counts what it receives from everyone, and
+    /// persists its own send count so recovery can resume it.
+    struct Counting {
+        sent: u64,
+        received: u64,
+        last_payload: Option<Vec<u8>>,
+    }
+
+    const TICK: TimerId = TimerId::new(1);
+
+    impl Actor for Counting {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut dyn ActorContext<u64>) {
+            self.sent = ctx
+                .storage()
+                .load_value(&StorageKey::new("sent"))
+                .unwrap()
+                .unwrap_or(0);
+            ctx.set_timer(TICK, SimDuration::from_millis(5));
+        }
+
+        fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut dyn ActorContext<u64>) {
+            self.received += msg.min(1) + 0 * msg;
+        }
+
+        fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<u64>) {
+            assert_eq!(timer, TICK);
+            self.sent += 1;
+            ctx.storage()
+                .store_value(&StorageKey::new("sent"), &self.sent)
+                .unwrap();
+            ctx.multisend(self.sent);
+            ctx.set_timer(TICK, SimDuration::from_millis(5));
+        }
+
+        fn on_client_request(&mut self, payload: bytes::Bytes, _ctx: &mut dyn ActorContext<u64>) {
+            self.last_payload = Some(payload.to_vec());
+        }
+    }
+
+    fn start(n: usize) -> ThreadRuntime<Counting> {
+        let storage = StorageRegistry::in_memory(n);
+        ThreadRuntime::start(n, storage, RuntimeConfig::default(), |_, _| Counting {
+            sent: 0,
+            received: 0,
+            last_payload: None,
+        })
+    }
+
+    #[test]
+    fn actors_exchange_messages_over_the_runtime() {
+        let runtime = start(3);
+        let got = runtime.wait_for(ProcessId::new(0), Duration::from_secs(5), |a| {
+            (a.received >= 5).then_some(a.received)
+        });
+        assert!(got.is_some(), "process 0 should receive traffic");
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn client_requests_reach_the_actor() {
+        let runtime = start(2);
+        runtime.client_request(ProcessId::new(1), &b"hello"[..]);
+        let got = runtime.wait_for(ProcessId::new(1), Duration::from_secs(5), |a| {
+            a.last_payload.clone()
+        });
+        assert_eq!(got, Some(b"hello".to_vec()));
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn crash_drops_volatile_state_and_recovery_restores_from_storage() {
+        let runtime = start(2);
+        let p = ProcessId::new(0);
+        // Let it send a few ticks so the persistent counter grows.
+        let sent_before = runtime
+            .wait_for(p, Duration::from_secs(5), |a| (a.sent >= 3).then_some(a.sent))
+            .expect("p0 should tick");
+
+        runtime.crash(p);
+        // While down, inspection returns None.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(runtime.inspect(p, |a| a.sent).is_none());
+
+        runtime.recover(p);
+        let sent_after = runtime
+            .wait_for(p, Duration::from_secs(5), |a| Some(a.sent))
+            .expect("p0 should be back up");
+        // The persistent counter was retrieved, not reset.
+        assert!(
+            sent_after >= sent_before,
+            "recovered counter {sent_after} must not regress below {sent_before}"
+        );
+        // Volatile state (received) was reset by the crash.
+        let received = runtime.inspect(p, |a| a.received).unwrap();
+        let _ = received; // may already have grown again; the point is no panic
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_traffic() {
+        let runtime = start(2);
+        runtime.wait_for(ProcessId::new(0), Duration::from_secs(5), |a| {
+            (a.received >= 2).then_some(())
+        });
+        assert!(runtime.metrics().sent() > 0);
+        assert!(runtime.metrics().delivered() > 0);
+        runtime.shutdown();
+    }
+}

@@ -1,0 +1,271 @@
+//! A replicated bank: a small, *non-idempotent* state machine used to
+//! validate exactly-once delivery semantics.
+//!
+//! Unlike the key-value store (whose `Put` is idempotent), transfers and
+//! deposits are not: applying a command twice or dropping one changes the
+//! balances.  Conservation of the total balance under transfers therefore
+//! makes a sharp end-to-end check of the Integrity and Total Order
+//! properties, and is used by the examples and the fault-injection tests.
+
+use std::collections::BTreeMap;
+
+use abcast_types::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use abcast_types::Payload;
+
+use crate::state_machine::StateMachine;
+
+/// A command applied to the replicated bank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BankCommand {
+    /// Opens `account` with `balance` (no effect if it already exists).
+    Open {
+        /// Account name.
+        account: String,
+        /// Initial balance.
+        balance: u64,
+    },
+    /// Deposits `amount` into `account` (no effect on missing accounts).
+    Deposit {
+        /// Account name.
+        account: String,
+        /// Amount to add.
+        amount: u64,
+    },
+    /// Transfers `amount` from `from` to `to`; a transfer that would
+    /// overdraw (or touches a missing account) has no effect.
+    Transfer {
+        /// Debited account.
+        from: String,
+        /// Credited account.
+        to: String,
+        /// Amount to move.
+        amount: u64,
+    },
+}
+
+impl Encode for BankCommand {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BankCommand::Open { account, balance } => {
+                enc.put_u8(0);
+                account.encode(enc);
+                enc.put_u64(*balance);
+            }
+            BankCommand::Deposit { account, amount } => {
+                enc.put_u8(1);
+                account.encode(enc);
+                enc.put_u64(*amount);
+            }
+            BankCommand::Transfer { from, to, amount } => {
+                enc.put_u8(2);
+                from.encode(enc);
+                to.encode(enc);
+                enc.put_u64(*amount);
+            }
+        }
+    }
+}
+
+impl Decode for BankCommand {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(BankCommand::Open {
+                account: String::decode(dec)?,
+                balance: dec.take_u64()?,
+            }),
+            1 => Ok(BankCommand::Deposit {
+                account: String::decode(dec)?,
+                amount: dec.take_u64()?,
+            }),
+            2 => Ok(BankCommand::Transfer {
+                from: String::decode(dec)?,
+                to: String::decode(dec)?,
+                amount: dec.take_u64()?,
+            }),
+            other => Err(DecodeError::invalid(format!("unknown BankCommand tag {other}"))),
+        }
+    }
+}
+
+/// The replicated bank state: a set of accounts with balances.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bank {
+    accounts: BTreeMap<String, u64>,
+    applied: u64,
+    rejected: u64,
+}
+
+impl Bank {
+    /// Balance of `account`, if it exists.
+    pub fn balance(&self, account: &str) -> Option<u64> {
+        self.accounts.get(account).copied()
+    }
+
+    /// Sum of every account's balance.
+    pub fn total(&self) -> u64 {
+        self.accounts.values().sum()
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Number of commands applied (including rejected ones).
+    pub fn applied_count(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of transfers rejected for insufficient funds or missing
+    /// accounts.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+}
+
+impl StateMachine for Bank {
+    type Command = BankCommand;
+
+    fn apply(&mut self, command: &BankCommand) {
+        self.applied += 1;
+        match command {
+            BankCommand::Open { account, balance } => {
+                self.accounts.entry(account.clone()).or_insert(*balance);
+            }
+            BankCommand::Deposit { account, amount } => {
+                if let Some(existing) = self.accounts.get_mut(account) {
+                    *existing += amount;
+                } else {
+                    self.rejected += 1;
+                }
+            }
+            BankCommand::Transfer { from, to, amount } => {
+                let can_debit = self.accounts.get(from).is_some_and(|b| b >= amount);
+                if can_debit && self.accounts.contains_key(to) {
+                    *self.accounts.get_mut(from).expect("checked above") -= amount;
+                    *self.accounts.get_mut(to).expect("checked above") += amount;
+                } else {
+                    self.rejected += 1;
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Payload {
+        let record = (self.applied, self.rejected, self.accounts.clone());
+        Payload::from(abcast_types::codec::to_bytes(&record))
+    }
+
+    fn restore(snapshot: &Payload) -> Self {
+        if snapshot.is_empty() {
+            return Bank::default();
+        }
+        match abcast_types::codec::from_bytes::<(u64, u64, BTreeMap<String, u64>)>(snapshot) {
+            Ok((applied, rejected, accounts)) => Bank {
+                accounts,
+                applied,
+                rejected,
+            },
+            Err(_) => Bank::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_types::codec::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    fn open(account: &str, balance: u64) -> BankCommand {
+        BankCommand::Open {
+            account: account.into(),
+            balance,
+        }
+    }
+
+    fn transfer(from: &str, to: &str, amount: u64) -> BankCommand {
+        BankCommand::Transfer {
+            from: from.into(),
+            to: to.into(),
+            amount,
+        }
+    }
+
+    #[test]
+    fn commands_round_trip_through_the_codec() {
+        for cmd in [
+            open("alice", 100),
+            BankCommand::Deposit {
+                account: "bob".into(),
+                amount: 5,
+            },
+            transfer("alice", "bob", 30),
+        ] {
+            let back: BankCommand = from_bytes(&to_bytes(&cmd)).unwrap();
+            assert_eq!(back, cmd);
+        }
+    }
+
+    #[test]
+    fn transfers_move_money_and_conserve_the_total() {
+        let mut bank = Bank::default();
+        bank.apply(&open("alice", 100));
+        bank.apply(&open("bob", 50));
+        assert_eq!(bank.total(), 150);
+        bank.apply(&transfer("alice", "bob", 30));
+        assert_eq!(bank.balance("alice"), Some(70));
+        assert_eq!(bank.balance("bob"), Some(80));
+        assert_eq!(bank.total(), 150);
+        assert_eq!(bank.rejected_count(), 0);
+    }
+
+    #[test]
+    fn overdrafts_and_unknown_accounts_are_rejected() {
+        let mut bank = Bank::default();
+        bank.apply(&open("alice", 10));
+        bank.apply(&transfer("alice", "ghost", 5));
+        bank.apply(&transfer("alice", "alice", 999));
+        bank.apply(&BankCommand::Deposit {
+            account: "ghost".into(),
+            amount: 1,
+        });
+        assert_eq!(bank.balance("alice"), Some(10));
+        assert_eq!(bank.rejected_count(), 3);
+    }
+
+    #[test]
+    fn opening_an_existing_account_is_a_no_op() {
+        let mut bank = Bank::default();
+        bank.apply(&open("alice", 10));
+        bank.apply(&open("alice", 999));
+        assert_eq!(bank.balance("alice"), Some(10));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut bank = Bank::default();
+        bank.apply(&open("a", 5));
+        bank.apply(&open("b", 7));
+        bank.apply(&transfer("a", "b", 2));
+        assert_eq!(Bank::restore(&bank.snapshot()), bank);
+        assert_eq!(Bank::restore(&Payload::new()), Bank::default());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_is_conserved_by_transfers(
+            opens in proptest::collection::vec((0usize..4, 1u64..100), 1..5),
+            transfers in proptest::collection::vec((0usize..4, 0usize..4, 0u64..150), 0..40)) {
+            let mut bank = Bank::default();
+            for (i, balance) in &opens {
+                bank.apply(&open(&format!("acct{i}"), *balance));
+            }
+            let initial_total = bank.total();
+            for (from, to, amount) in &transfers {
+                bank.apply(&transfer(&format!("acct{from}"), &format!("acct{to}"), *amount));
+            }
+            prop_assert_eq!(bank.total(), initial_total);
+        }
+    }
+}

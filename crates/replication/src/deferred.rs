@@ -1,0 +1,319 @@
+//! Deferred-update replicated database (Section 6.2).
+//!
+//! "The idea of the deferred update model is to process the transaction
+//! locally and then, at commit time, execute a global certification
+//! procedure.  The certification phase uses the transaction's read and
+//! write sets to detect conflicts with already committed transactions.  The
+//! use of an Atomic Broadcast primitive ensures that all managers certify
+//! transactions in the same order and maintain a consistent state."
+//!
+//! [`CertifyingDatabase`] is the replicated state machine: it stores
+//! versioned key-value pairs and certifies delivered [`Transaction`]s in
+//! delivery order.  Clients execute optimistically against any replica
+//! (recording the versions they read), then broadcast the transaction; the
+//! certification outcome is deterministic, so every replica commits or
+//! aborts the same transactions.
+
+use std::collections::BTreeMap;
+
+use abcast_types::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use abcast_types::Payload;
+
+use crate::state_machine::StateMachine;
+
+/// A transaction in the deferred-update model: the versions it read and the
+/// writes it wants to install.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Transaction {
+    /// Client-chosen transaction identifier (for reporting only).
+    pub id: u64,
+    /// `(key, version read)` pairs observed during local execution.
+    pub read_set: Vec<(String, u64)>,
+    /// `(key, new value)` pairs to install if certification succeeds.
+    pub write_set: Vec<(String, String)>,
+}
+
+impl Transaction {
+    /// Creates an empty transaction with the given identifier.
+    pub fn new(id: u64) -> Self {
+        Transaction {
+            id,
+            ..Transaction::default()
+        }
+    }
+
+    /// Records that the transaction read `key` at `version`.
+    pub fn read(mut self, key: impl Into<String>, version: u64) -> Self {
+        self.read_set.push((key.into(), version));
+        self
+    }
+
+    /// Records that the transaction writes `value` to `key`.
+    pub fn write(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.write_set.push((key.into(), value.into()));
+        self
+    }
+}
+
+impl Encode for Transaction {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.id);
+        self.read_set.encode(enc);
+        self.write_set.encode(enc);
+    }
+}
+
+impl Decode for Transaction {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Transaction {
+            id: dec.take_u64()?,
+            read_set: Vec::<(String, u64)>::decode(dec)?,
+            write_set: Vec::<(String, String)>::decode(dec)?,
+        })
+    }
+}
+
+/// One versioned entry of the replicated database.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// Monotonically increasing version, bumped by every committed write.
+    pub version: u64,
+    /// Current value.
+    pub value: String,
+}
+
+/// The replicated, certifying database (one replica's state).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CertifyingDatabase {
+    entries: BTreeMap<String, VersionedValue>,
+    committed: u64,
+    aborted: u64,
+}
+
+impl CertifyingDatabase {
+    /// Reads `key` for local (optimistic) transaction execution, returning
+    /// the value and the version that must be recorded in the read set.
+    /// Missing keys read as version 0 with an empty value.
+    pub fn read(&self, key: &str) -> (Option<&str>, u64) {
+        match self.entries.get(key) {
+            Some(entry) => (Some(entry.value.as_str()), entry.version),
+            None => (None, 0),
+        }
+    }
+
+    /// Current version of `key` (0 if absent).
+    pub fn version(&self, key: &str) -> u64 {
+        self.entries.get(key).map(|e| e.version).unwrap_or(0)
+    }
+
+    /// Certifies `tx` against the current state: it commits iff every key
+    /// it read still has the version it read (no committed transaction
+    /// wrote it in the meantime).
+    pub fn certify(&self, tx: &Transaction) -> bool {
+        tx.read_set
+            .iter()
+            .all(|(key, version)| self.version(key) == *version)
+    }
+
+    /// Certifies `tx` and, if it passes, applies its write set.  Returns
+    /// whether the transaction committed.
+    pub fn certify_and_apply(&mut self, tx: &Transaction) -> bool {
+        if self.certify(tx) {
+            for (key, value) in &tx.write_set {
+                let entry = self.entries.entry(key.clone()).or_default();
+                entry.version += 1;
+                entry.value = value.clone();
+            }
+            self.committed += 1;
+            true
+        } else {
+            self.aborted += 1;
+            false
+        }
+    }
+
+    /// Number of transactions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Number of transactions aborted by certification so far.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Abort rate over all certified transactions (0 when none were
+    /// certified yet).
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the database holds no key.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Encode for CertifyingDatabase {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.committed);
+        enc.put_u64(self.aborted);
+        enc.put_u64(self.entries.len() as u64);
+        for (key, entry) in &self.entries {
+            key.encode(enc);
+            enc.put_u64(entry.version);
+            entry.value.encode(enc);
+        }
+    }
+}
+
+impl Decode for CertifyingDatabase {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let committed = dec.take_u64()?;
+        let aborted = dec.take_u64()?;
+        let len = dec.take_u64()? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..len {
+            let key = String::decode(dec)?;
+            let version = dec.take_u64()?;
+            let value = String::decode(dec)?;
+            entries.insert(key, VersionedValue { version, value });
+        }
+        Ok(CertifyingDatabase {
+            entries,
+            committed,
+            aborted,
+        })
+    }
+}
+
+impl StateMachine for CertifyingDatabase {
+    type Command = Transaction;
+
+    fn apply(&mut self, command: &Transaction) {
+        self.certify_and_apply(command);
+    }
+
+    fn snapshot(&self) -> Payload {
+        Payload::from(abcast_types::codec::to_bytes(self))
+    }
+
+    fn restore(snapshot: &Payload) -> Self {
+        if snapshot.is_empty() {
+            return CertifyingDatabase::default();
+        }
+        abcast_types::codec::from_bytes(snapshot).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_types::codec::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    #[test]
+    fn transaction_builder_and_codec() {
+        let tx = Transaction::new(7)
+            .read("a", 1)
+            .read("b", 0)
+            .write("a", "new");
+        assert_eq!(tx.id, 7);
+        assert_eq!(tx.read_set.len(), 2);
+        assert_eq!(tx.write_set.len(), 1);
+        let back: Transaction = from_bytes(&to_bytes(&tx)).unwrap();
+        assert_eq!(back, tx);
+    }
+
+    #[test]
+    fn non_conflicting_transactions_commit() {
+        let mut db = CertifyingDatabase::default();
+        let t1 = Transaction::new(1).read("x", 0).write("x", "1");
+        assert!(db.certify_and_apply(&t1));
+        assert_eq!(db.read("x"), (Some("1"), 1));
+
+        // Reads the current version, so it certifies.
+        let t2 = Transaction::new(2).read("x", 1).write("y", "2");
+        assert!(db.certify_and_apply(&t2));
+        assert_eq!(db.committed(), 2);
+        assert_eq!(db.aborted(), 0);
+    }
+
+    #[test]
+    fn conflicting_transaction_aborts() {
+        let mut db = CertifyingDatabase::default();
+        // Both transactions read x at version 0 and write it: the first to
+        // be delivered commits, the second aborts.
+        let t1 = Transaction::new(1).read("x", 0).write("x", "from-t1");
+        let t2 = Transaction::new(2).read("x", 0).write("x", "from-t2");
+        assert!(db.certify_and_apply(&t1));
+        assert!(!db.certify_and_apply(&t2));
+        assert_eq!(db.read("x").0, Some("from-t1"));
+        assert_eq!(db.aborted(), 1);
+        assert!((db.abort_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blind_writes_always_commit() {
+        let mut db = CertifyingDatabase::default();
+        let t1 = Transaction::new(1).write("x", "a");
+        let t2 = Transaction::new(2).write("x", "b");
+        assert!(db.certify_and_apply(&t1));
+        assert!(db.certify_and_apply(&t2));
+        assert_eq!(db.version("x"), 2);
+        assert_eq!(db.read("x").0, Some("b"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut db = CertifyingDatabase::default();
+        db.certify_and_apply(&Transaction::new(1).write("a", "1"));
+        db.certify_and_apply(&Transaction::new(2).read("a", 0).write("b", "2"));
+        let restored = CertifyingDatabase::restore(&db.snapshot());
+        assert_eq!(restored, db);
+        assert_eq!(CertifyingDatabase::restore(&Payload::new()), CertifyingDatabase::default());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_replicas_certifying_same_order_agree(
+            txs in proptest::collection::vec(
+                (0u64..3, 0u64..3, "[a-b]", "[a-b]", "[a-z]{1,3}"), 0..30)) {
+            // Build transactions whose read versions are arbitrary; the
+            // interesting property is that two replicas applying the same
+            // delivery order reach the same state and the same
+            // commit/abort counts.
+            let txs: Vec<Transaction> = txs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (rv1, rv2, k1, k2, val))| {
+                    Transaction::new(i as u64)
+                        .read(k1.clone(), rv1)
+                        .read(k2.clone(), rv2)
+                        .write(k1, val)
+                })
+                .collect();
+            let mut a = CertifyingDatabase::default();
+            let mut b = CertifyingDatabase::default();
+            for tx in &txs {
+                a.apply(tx);
+            }
+            for tx in &txs {
+                b.apply(tx);
+            }
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.committed() + a.aborted(), txs.len() as u64);
+            prop_assert_eq!(CertifyingDatabase::restore(&a.snapshot()), a);
+        }
+    }
+}

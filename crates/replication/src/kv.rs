@@ -1,0 +1,216 @@
+//! A replicated key-value store: the canonical state machine used by the
+//! examples, tests and benchmarks.
+
+use std::collections::BTreeMap;
+
+use abcast_types::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use abcast_types::Payload;
+
+use crate::state_machine::StateMachine;
+
+/// A command applied to the replicated key-value store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvCommand {
+    /// Sets `key` to `value`.
+    Put {
+        /// The key being written.
+        key: String,
+        /// The value written.
+        value: String,
+    },
+    /// Removes `key`.
+    Delete {
+        /// The key being removed.
+        key: String,
+    },
+}
+
+impl KvCommand {
+    /// Convenience constructor for a `Put`.
+    pub fn put(key: impl Into<String>, value: impl Into<String>) -> Self {
+        KvCommand::Put {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for a `Delete`.
+    pub fn delete(key: impl Into<String>) -> Self {
+        KvCommand::Delete { key: key.into() }
+    }
+}
+
+impl Encode for KvCommand {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            KvCommand::Put { key, value } => {
+                enc.put_u8(0);
+                key.encode(enc);
+                value.encode(enc);
+            }
+            KvCommand::Delete { key } => {
+                enc.put_u8(1);
+                key.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for KvCommand {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(KvCommand::Put {
+                key: String::decode(dec)?,
+                value: String::decode(dec)?,
+            }),
+            1 => Ok(KvCommand::Delete {
+                key: String::decode(dec)?,
+            }),
+            other => Err(DecodeError::invalid(format!("unknown KvCommand tag {other}"))),
+        }
+    }
+}
+
+/// The replicated key-value store state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvStore {
+    entries: BTreeMap<String, String>,
+    applied: u64,
+}
+
+impl KvStore {
+    /// Reads the value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the store holds no key.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of commands applied since the initial state (or since the
+    /// last checkpoint restore).
+    pub fn applied_count(&self) -> u64 {
+        self.applied
+    }
+
+    /// Iterates over the entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl StateMachine for KvStore {
+    type Command = KvCommand;
+
+    fn apply(&mut self, command: &KvCommand) {
+        self.applied += 1;
+        match command {
+            KvCommand::Put { key, value } => {
+                self.entries.insert(key.clone(), value.clone());
+            }
+            KvCommand::Delete { key } => {
+                self.entries.remove(key);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Payload {
+        let record = (self.applied, self.entries.clone());
+        Payload::from(abcast_types::codec::to_bytes(&record))
+    }
+
+    fn restore(snapshot: &Payload) -> Self {
+        if snapshot.is_empty() {
+            return KvStore::default();
+        }
+        match abcast_types::codec::from_bytes::<(u64, BTreeMap<String, String>)>(snapshot) {
+            Ok((applied, entries)) => KvStore { entries, applied },
+            Err(_) => KvStore::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_types::codec::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    #[test]
+    fn commands_round_trip_through_the_codec() {
+        for cmd in [
+            KvCommand::put("key", "value"),
+            KvCommand::delete("key"),
+            KvCommand::put("", ""),
+        ] {
+            let back: KvCommand = from_bytes(&to_bytes(&cmd)).unwrap();
+            assert_eq!(back, cmd);
+        }
+    }
+
+    #[test]
+    fn apply_put_get_delete() {
+        let mut kv = KvStore::default();
+        assert!(kv.is_empty());
+        kv.apply(&KvCommand::put("a", "1"));
+        kv.apply(&KvCommand::put("b", "2"));
+        assert_eq!(kv.get("a"), Some("1"));
+        assert_eq!(kv.len(), 2);
+        kv.apply(&KvCommand::put("a", "3"));
+        assert_eq!(kv.get("a"), Some("3"));
+        kv.apply(&KvCommand::delete("a"));
+        assert_eq!(kv.get("a"), None);
+        assert_eq!(kv.applied_count(), 4);
+        assert_eq!(kv.iter().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut kv = KvStore::default();
+        kv.apply(&KvCommand::put("x", "1"));
+        kv.apply(&KvCommand::put("y", "2"));
+        let restored = KvStore::restore(&kv.snapshot());
+        assert_eq!(restored, kv);
+        assert_eq!(KvStore::restore(&Payload::new()), KvStore::default());
+    }
+
+    #[test]
+    fn command_payload_round_trip_through_state_machine_helpers() {
+        let cmd = KvCommand::put("k", "v");
+        let payload = KvStore::encode_command(&cmd);
+        assert_eq!(KvStore::decode_command(&payload), Some(cmd));
+        assert_eq!(KvStore::decode_command(&Payload::from_static(&[9, 9])), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_replicas_applying_same_commands_agree(
+            commands in proptest::collection::vec(
+                (any::<bool>(), "[a-c]{1}", "[a-z]{0,4}"), 0..40)) {
+            let commands: Vec<KvCommand> = commands
+                .into_iter()
+                .map(|(put, key, value)| {
+                    if put { KvCommand::put(key, value) } else { KvCommand::delete(key) }
+                })
+                .collect();
+            let mut a = KvStore::default();
+            let mut b = KvStore::default();
+            for c in &commands {
+                a.apply(c);
+            }
+            for c in &commands {
+                b.apply(c);
+            }
+            prop_assert_eq!(&a, &b);
+            // Snapshot/restore preserves equality too.
+            prop_assert_eq!(KvStore::restore(&a.snapshot()), a);
+        }
+    }
+}

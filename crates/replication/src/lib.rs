@@ -1,0 +1,35 @@
+//! Applications built on crash-recovery atomic broadcast (Section 6 of the
+//! paper).
+//!
+//! * [`Replica`] — a generic replicated state machine process: it embeds the
+//!   atomic broadcast protocol, submits commands with `A-broadcast` and
+//!   applies the delivery sequence to a deterministic [`StateMachine`];
+//! * [`KvStore`] — a replicated key-value store (the quickstart service);
+//! * [`Bank`] — a non-idempotent transfer service used to validate
+//!   exactly-once semantics end to end;
+//! * [`CertifyingDatabase`] / [`Transaction`] — the deferred-update
+//!   replicated database of Section 6.2 (certification in delivery order);
+//! * [`QuorumConfig`] and friends — the weighted-voting machinery of
+//!   Section 6.3, bridging quorum reads with broadcast-ordered writes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod deferred;
+pub mod kv;
+pub mod quorum;
+pub mod replica;
+pub mod state_machine;
+
+pub use bank::{Bank, BankCommand};
+pub use deferred::{CertifyingDatabase, Transaction, VersionedValue};
+pub use kv::{KvCommand, KvStore};
+pub use quorum::{
+    combine_read_replies, FreshnessTable, QuorumConfig, QuorumConfigError, QuorumReadOutcome,
+    ReadReply,
+};
+pub use replica::Replica;
+pub use state_machine::{
+    apply_deliveries, restore_checkpoint, StateMachine, StateMachineCheckpointProvider,
+};

@@ -1,0 +1,223 @@
+//! A replica: one process running a [`StateMachine`] on top of the atomic
+//! broadcast protocol (software-based replication, Section 1 and reference 8 of the
+//! paper).
+
+use bytes::Bytes;
+
+use abcast_core::{AbcastMsg, AtomicBroadcast, ConsensusConfig};
+use abcast_net::{Actor, ActorContext, TimerId};
+use abcast_types::{MsgId, ProcessId, ProtocolConfig};
+
+use crate::state_machine::{apply_deliveries, StateMachine, StateMachineCheckpointProvider};
+
+/// One replica of a service replicated with atomic broadcast.
+///
+/// The replica embeds the full [`AtomicBroadcast`] state machine, submits
+/// client commands through `A-broadcast`, and applies delivered commands to
+/// its local [`StateMachine`] in delivery order — so every replica's state
+/// converges to the same value.
+pub struct Replica<S: StateMachine> {
+    broadcast: AtomicBroadcast,
+    state: S,
+    commands_applied: u64,
+}
+
+impl<S: StateMachine> Replica<S> {
+    /// Creates a replica with the given protocol and consensus
+    /// configurations.
+    pub fn new(protocol: ProtocolConfig, consensus: ConsensusConfig) -> Self {
+        let provider = StateMachineCheckpointProvider::<S>::new();
+        Replica {
+            broadcast: AtomicBroadcast::with_checkpoint_provider(protocol, consensus, provider),
+            state: S::default(),
+            commands_applied: 0,
+        }
+    }
+
+    /// Creates a replica running the paper's alternative protocol with
+    /// crash-recovery consensus — the configuration a deployment would
+    /// typically use.
+    pub fn recommended() -> Self {
+        Replica::new(ProtocolConfig::alternative(), ConsensusConfig::crash_recovery())
+    }
+
+    /// Submits a command for replicated execution.  Returns the broadcast
+    /// identity of the command.
+    pub fn submit(&mut self, command: &S::Command, ctx: &mut dyn ActorContext<AbcastMsg>) -> MsgId {
+        let payload = S::encode_command(command);
+        self.broadcast.a_broadcast(payload, ctx)
+    }
+
+    /// The replica's current service state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The embedded atomic broadcast instance.
+    pub fn broadcast(&self) -> &AtomicBroadcast {
+        &self.broadcast
+    }
+
+    /// Number of commands applied to the local state since the last
+    /// (re)start.
+    pub fn commands_applied(&self) -> u64 {
+        self.commands_applied
+    }
+
+    /// `true` once the command with identity `id` has been delivered (and
+    /// therefore applied or covered by a checkpoint).
+    pub fn has_executed(&self, id: MsgId) -> bool {
+        self.broadcast.is_delivered(id)
+    }
+
+    fn drain_deliveries(&mut self) {
+        let events = self.broadcast.take_deliveries();
+        if events.is_empty() {
+            return;
+        }
+        self.commands_applied += apply_deliveries(&mut self.state, events) as u64;
+    }
+}
+
+impl<S: StateMachine> Actor for Replica<S> {
+    type Msg = AbcastMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        self.broadcast.on_start(ctx);
+        // Recovery: everything the protocol replayed (or restored from an
+        // agreed checkpoint) is re-applied to a fresh state.
+        self.state = S::default();
+        self.commands_applied = 0;
+        self.drain_deliveries();
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: AbcastMsg, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        self.broadcast.on_message(from, msg, ctx);
+        self.drain_deliveries();
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        self.broadcast.on_timer(timer, ctx);
+        self.drain_deliveries();
+    }
+
+    fn on_client_request(&mut self, payload: Bytes, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        // Raw payloads are assumed to be encoded commands.
+        self.broadcast.a_broadcast(payload, ctx);
+        self.drain_deliveries();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvCommand, KvStore};
+    use abcast_sim::{SimConfig, Simulation};
+    use abcast_types::{SimDuration, SimTime};
+
+    type KvReplica = Replica<KvStore>;
+
+    fn new_cluster(n: usize, seed: u64, protocol: ProtocolConfig) -> Simulation<KvReplica> {
+        Simulation::new(SimConfig::lan(n).with_seed(seed), move |_p, _s| {
+            KvReplica::new(protocol.clone(), ConsensusConfig::crash_recovery())
+        })
+    }
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn submit(sim: &mut Simulation<KvReplica>, at: ProcessId, cmd: KvCommand) -> MsgId {
+        sim.with_actor_mut(at, |replica, ctx| replica.submit(&cmd, ctx))
+            .expect("process is up")
+    }
+
+    #[test]
+    fn replicas_converge_to_the_same_kv_state() {
+        let mut sim = new_cluster(3, 1, ProtocolConfig::basic());
+        let id1 = submit(&mut sim, p(0), KvCommand::put("x", "1"));
+        let id2 = submit(&mut sim, p(1), KvCommand::put("y", "2"));
+        let id3 = submit(&mut sim, p(2), KvCommand::put("x", "3"));
+        let done = sim.run_until(SimTime::from_micros(10_000_000), |sim| {
+            sim.processes().iter().all(|q| {
+                sim.actor(q)
+                    .map(|r| [id1, id2, id3].iter().all(|id| r.has_executed(*id)))
+                    .unwrap_or(false)
+            })
+        });
+        assert!(done, "not all commands executed in time");
+        let reference = sim.actor(p(0)).unwrap().state().clone();
+        assert_eq!(reference.get("y"), Some("2"));
+        assert!(reference.get("x").is_some());
+        for q in [p(1), p(2)] {
+            assert_eq!(sim.actor(q).unwrap().state(), &reference, "{q} diverged");
+        }
+    }
+
+    #[test]
+    fn crashed_replica_recovers_and_catches_up() {
+        let mut sim = new_cluster(3, 5, ProtocolConfig::alternative());
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            ids.push(submit(&mut sim, p(0), KvCommand::put(format!("k{i}"), format!("v{i}"))));
+            sim.run_for(SimDuration::from_millis(30));
+        }
+        // Crash p2, keep the traffic flowing, then recover it.
+        sim.crash_now(p(2));
+        for i in 5..10 {
+            ids.push(submit(&mut sim, p(1), KvCommand::put(format!("k{i}"), format!("v{i}"))));
+            sim.run_for(SimDuration::from_millis(30));
+        }
+        sim.recover_now(p(2));
+        let done = sim.run_until(SimTime::from_micros(30_000_000), |sim| {
+            sim.processes().iter().all(|q| {
+                sim.actor(q)
+                    .map(|r| ids.iter().all(|id| r.has_executed(*id)))
+                    .unwrap_or(false)
+            })
+        });
+        assert!(done, "recovered replica did not catch up");
+        let reference = sim.actor(p(0)).unwrap().state().clone();
+        assert_eq!(sim.actor(p(2)).unwrap().state(), &reference);
+        assert_eq!(reference.get("k9"), Some("v9"));
+        assert_eq!(reference.len(), 10);
+    }
+
+    #[test]
+    fn whole_cluster_restart_preserves_the_replicated_state() {
+        let storage = abcast_storage::StorageRegistry::in_memory(3);
+        let protocol = ProtocolConfig::alternative();
+        let build = {
+            let protocol = protocol.clone();
+            move |_p: ProcessId, _s: abcast_storage::SharedStorage| {
+                KvReplica::new(protocol.clone(), ConsensusConfig::crash_recovery())
+            }
+        };
+        let mut ids = Vec::new();
+        {
+            let mut sim = Simulation::with_storage(
+                SimConfig::lan(3).with_seed(2),
+                storage.clone(),
+                build.clone(),
+            );
+            for i in 0..4 {
+                ids.push(submit(&mut sim, p(i % 3), KvCommand::put(format!("k{i}"), "v")));
+                sim.run_for(SimDuration::from_millis(40));
+            }
+            sim.run_for(SimDuration::from_secs(2));
+        }
+        // The entire deployment restarts from stable storage.
+        let mut sim = Simulation::with_storage(SimConfig::lan(3).with_seed(3), storage, build);
+        let done = sim.run_until(SimTime::from_micros(20_000_000), |sim| {
+            sim.processes().iter().all(|q| {
+                sim.actor(q)
+                    .map(|r| ids.iter().all(|id| r.has_executed(*id)))
+                    .unwrap_or(false)
+            })
+        });
+        assert!(done, "state lost across full restart");
+        for q in [p(0), p(1), p(2)] {
+            assert_eq!(sim.actor(q).unwrap().state().len(), 4, "{q} lost entries");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Replicated state machines on top of atomic broadcast.
+//!
+//! The motivation the paper opens with: "By employing this primitive to
+//! disseminate updates, all correct copies of a service deliver the same set
+//! of updates in the same order, and consequently the state of the service
+//! is kept consistent."  [`StateMachine`] is the service-side contract, and
+//! [`StateMachineCheckpointProvider`] adapts a state machine to the
+//! `A-checkpoint` upcall of Section 5.2 so that the protocol can replace
+//! delivered prefixes by application state.
+
+use abcast_core::{AppCheckpoint, CheckpointProvider};
+use abcast_types::codec::{from_bytes, to_bytes, Decode, Encode};
+use abcast_types::{AppMessage, Payload};
+
+/// A deterministic service replicated through atomic broadcast.
+///
+/// Commands are applied in delivery order at every replica; determinism of
+/// `apply` is what turns identical delivery sequences into identical
+/// states.
+pub trait StateMachine: Default + Send + 'static {
+    /// The command type applied by the service.
+    type Command: Encode + Decode + Clone + std::fmt::Debug + Send + 'static;
+
+    /// Applies one command, mutating the state.
+    fn apply(&mut self, command: &Self::Command);
+
+    /// Serializes the complete state (used for application checkpoints and
+    /// state transfer).
+    fn snapshot(&self) -> Payload;
+
+    /// Rebuilds the state from a snapshot produced by
+    /// [`StateMachine::snapshot`].  An empty snapshot must produce the
+    /// initial state.
+    fn restore(snapshot: &Payload) -> Self;
+
+    /// Decodes a command from a delivered message payload.  Returns `None`
+    /// for payloads that are not commands of this service (they are
+    /// ignored rather than crashing the replica).
+    fn decode_command(payload: &Payload) -> Option<Self::Command> {
+        from_bytes(payload).ok()
+    }
+
+    /// Encodes a command into a broadcast payload.
+    fn encode_command(command: &Self::Command) -> Payload {
+        Payload::from(to_bytes(command))
+    }
+}
+
+/// Adapts a [`StateMachine`] to the protocol's `A-checkpoint` upcall.
+///
+/// The provider keeps its own copy of the state, built *exclusively* from
+/// the messages the protocol reports as compacted, so the checkpoint state
+/// logically contains exactly those messages — neither more nor less —
+/// which is what keeps state transfer plus replay of the explicit suffix
+/// correct even for non-idempotent services.
+#[derive(Debug, Default)]
+pub struct StateMachineCheckpointProvider<S: StateMachine> {
+    state: S,
+}
+
+impl<S: StateMachine> StateMachineCheckpointProvider<S> {
+    /// Creates a provider starting from the initial state.
+    pub fn new() -> Self {
+        StateMachineCheckpointProvider { state: S::default() }
+    }
+
+    /// The state accumulated from compacted messages so far.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+}
+
+impl<S: StateMachine> CheckpointProvider for StateMachineCheckpointProvider<S> {
+    fn checkpoint(&mut self, covered: &[AppMessage]) -> Payload {
+        for message in covered {
+            if let Some(command) = S::decode_command(message.payload()) {
+                self.state.apply(&command);
+            }
+        }
+        self.state.snapshot()
+    }
+
+    fn restore(&mut self, checkpoint: &AppCheckpoint) {
+        self.state = S::restore(&checkpoint.state);
+    }
+}
+
+/// Applies a delivery event stream to a live replica state.
+///
+/// `Deliver` events apply the decoded command; `InstallCheckpoint` events
+/// (produced by state transfer) replace the state with the checkpoint's
+/// snapshot before the explicit suffix is re-applied.
+pub fn apply_deliveries<S: StateMachine>(
+    state: &mut S,
+    events: impl IntoIterator<Item = abcast_core::DeliveryEvent>,
+) -> usize {
+    let mut applied = 0;
+    for event in events {
+        match event {
+            abcast_core::DeliveryEvent::Deliver(message) => {
+                if let Some(command) = S::decode_command(message.payload()) {
+                    state.apply(&command);
+                    applied += 1;
+                }
+            }
+            abcast_core::DeliveryEvent::InstallCheckpoint(checkpoint) => {
+                *state = restore_checkpoint(&checkpoint);
+            }
+        }
+    }
+    applied
+}
+
+/// Rebuilds a replica state from an application checkpoint.
+pub fn restore_checkpoint<S: StateMachine>(checkpoint: &AppCheckpoint) -> S {
+    S::restore(&checkpoint.state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvCommand, KvStore};
+    use abcast_core::DeliveryEvent;
+    use abcast_types::{MsgId, ProcessId, VectorClock};
+
+    fn deliver(sender: u32, seq: u64, command: &KvCommand) -> DeliveryEvent {
+        DeliveryEvent::Deliver(AppMessage::new(
+            MsgId::new(ProcessId::new(sender), seq),
+            KvStore::encode_command(command),
+        ))
+    }
+
+    #[test]
+    fn apply_deliveries_applies_commands_in_order() {
+        let mut state = KvStore::default();
+        let applied = apply_deliveries(
+            &mut state,
+            vec![
+                deliver(0, 0, &KvCommand::put("a", "1")),
+                deliver(1, 0, &KvCommand::put("a", "2")),
+                deliver(0, 1, &KvCommand::put("b", "3")),
+            ],
+        );
+        assert_eq!(applied, 3);
+        assert_eq!(state.get("a"), Some("2"));
+        assert_eq!(state.get("b"), Some("3"));
+    }
+
+    #[test]
+    fn non_command_payloads_are_ignored() {
+        let mut state = KvStore::default();
+        let junk = DeliveryEvent::Deliver(AppMessage::new(
+            MsgId::new(ProcessId::new(0), 0),
+            Payload::from_static(&[0xFF, 0x01]),
+        ));
+        let applied = apply_deliveries(&mut state, vec![junk]);
+        assert_eq!(applied, 0);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_provider_accumulates_only_covered_messages() {
+        let mut provider = StateMachineCheckpointProvider::<KvStore>::new();
+        let m1 = AppMessage::new(
+            MsgId::new(ProcessId::new(0), 0),
+            KvStore::encode_command(&KvCommand::put("x", "1")),
+        );
+        let snapshot1 = provider.checkpoint(std::slice::from_ref(&m1));
+        let restored1 = KvStore::restore(&snapshot1);
+        assert_eq!(restored1.get("x"), Some("1"));
+        assert_eq!(provider.state().get("x"), Some("1"));
+
+        let m2 = AppMessage::new(
+            MsgId::new(ProcessId::new(1), 0),
+            KvStore::encode_command(&KvCommand::put("y", "2")),
+        );
+        let snapshot2 = provider.checkpoint(std::slice::from_ref(&m2));
+        let restored2 = KvStore::restore(&snapshot2);
+        assert_eq!(restored2.get("x"), Some("1"));
+        assert_eq!(restored2.get("y"), Some("2"));
+    }
+
+    #[test]
+    fn install_checkpoint_resets_the_state() {
+        let mut base = KvStore::default();
+        base.apply(&KvCommand::put("k", "from-checkpoint"));
+        let checkpoint = AppCheckpoint {
+            state: base.snapshot(),
+            vc: VectorClock::new(),
+        };
+
+        let mut state = KvStore::default();
+        state.apply(&KvCommand::put("k", "stale"));
+        state.apply(&KvCommand::put("other", "stale"));
+        apply_deliveries(
+            &mut state,
+            vec![
+                DeliveryEvent::InstallCheckpoint(checkpoint),
+                deliver(0, 5, &KvCommand::put("after", "1")),
+            ],
+        );
+        assert_eq!(state.get("k"), Some("from-checkpoint"));
+        assert_eq!(state.get("other"), None);
+        assert_eq!(state.get("after"), Some("1"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The event queue of the discrete-event simulator.
+//!
+//! Every future occurrence — a message delivery, a timer expiry, a crash, a
+//! recovery, a client request — is an [`Event`] scheduled at a virtual
+//! [`SimTime`].  Events with equal timestamps are processed in insertion
+//! order, which (together with the seeded RNG) makes whole runs
+//! reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+
+use abcast_net::TimerId;
+use abcast_types::{ProcessId, SimTime};
+
+/// A single scheduled occurrence.
+#[derive(Debug, Clone)]
+pub enum Event<M> {
+    /// A transport message from `from` arrives at `to`.
+    Deliver {
+        /// Destination process.
+        to: ProcessId,
+        /// Originating process.
+        from: ProcessId,
+        /// The message itself.
+        msg: M,
+    },
+    /// A timer armed by process `process` fires.
+    Timer {
+        /// The process whose timer fires.
+        process: ProcessId,
+        /// Which timer fires.
+        timer: TimerId,
+        /// Arming generation; stale generations are ignored (the timer was
+        /// re-armed or cancelled in the meantime).
+        generation: u64,
+    },
+    /// Process `process` crashes, losing its volatile memory.
+    Crash {
+        /// The crashing process.
+        process: ProcessId,
+    },
+    /// Process `process` recovers and re-runs its recovery procedure.
+    Recover {
+        /// The recovering process.
+        process: ProcessId,
+    },
+    /// The local application of `process` invokes the protocol with
+    /// `payload` (for atomic broadcast: `A-broadcast(payload)`).
+    ClientRequest {
+        /// The process receiving the request.
+        process: ProcessId,
+        /// Opaque request payload.
+        payload: Bytes,
+    },
+}
+
+impl<M> Event<M> {
+    /// The process this event concerns.
+    pub fn process(&self) -> ProcessId {
+        match self {
+            Event::Deliver { to, .. } => *to,
+            Event::Timer { process, .. }
+            | Event::Crash { process }
+            | Event::Recover { process }
+            | Event::ClientRequest { process, .. } => *process,
+        }
+    }
+
+    /// Short label used in traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Deliver { .. } => "deliver",
+            Event::Timer { .. } => "timer",
+            Event::Crash { .. } => "crash",
+            Event::Recover { .. } => "recover",
+            Event::ClientRequest { .. } => "client-request",
+        }
+    }
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Time-ordered queue of scheduled events.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+    scheduled_total: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            scheduled_total: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` to occur at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event<M>) {
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, with its scheduled time.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the earliest scheduled event, if any.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn crash(p: u32) -> Event<()> {
+        Event::Crash {
+            process: ProcessId::new(p),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), crash(3));
+        q.schedule(t(10), crash(1));
+        q.schedule(t(20), crash(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(at, _)| at.as_micros())
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), crash(0));
+        q.schedule(t(5), crash(1));
+        q.schedule(t(5), crash(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| e.process().as_u32())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn next_time_and_len_reflect_contents() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.schedule(t(40), crash(0));
+        q.schedule(t(15), crash(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(t(15)));
+        q.pop();
+        assert_eq!(q.next_time(), Some(t(40)));
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e: Event<u32> = Event::Deliver {
+            to: ProcessId::new(2),
+            from: ProcessId::new(1),
+            msg: 9,
+        };
+        assert_eq!(e.process(), ProcessId::new(2));
+        assert_eq!(e.kind(), "deliver");
+        let e: Event<u32> = Event::ClientRequest {
+            process: ProcessId::new(0),
+            payload: Bytes::from_static(b"x"),
+        };
+        assert_eq!(e.kind(), "client-request");
+        assert_eq!(
+            Event::<u32>::Timer {
+                process: ProcessId::new(1),
+                timer: TimerId::new(2),
+                generation: 3
+            }
+            .kind(),
+            "timer"
+        );
+        assert_eq!(crash(1).kind(), "crash");
+        assert_eq!(
+            Event::<()>::Recover {
+                process: ProcessId::new(1)
+            }
+            .kind(),
+            "recover"
+        );
+    }
+}

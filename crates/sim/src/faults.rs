@@ -1,0 +1,299 @@
+//! Fault-injection schedules: crash/recovery plans and the good/bad process
+//! taxonomy of Section 3.3.
+//!
+//! A *good* process eventually remains permanently up; a *bad* process
+//! either eventually remains crashed or oscillates between up and down
+//! forever.  [`FaultPlan`] lets an experiment express both kinds of
+//! behaviour declaratively and apply them to a [`Simulation`], and
+//! [`FaultPlan::classify`] reports which processes are good or bad over the
+//! planned horizon so assertions can be phrased exactly like the paper's
+//! properties ("all good processes A-deliver …").
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+
+use abcast_net::Actor;
+use abcast_types::{ProcessId, SimDuration, SimTime};
+
+use crate::simulation::Simulation;
+
+/// One planned lifecycle change of a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The process crashes at the given time.
+    Crash(SimTime),
+    /// The process recovers at the given time.
+    Recover(SimTime),
+}
+
+impl FaultEvent {
+    /// The time of this event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            FaultEvent::Crash(t) | FaultEvent::Recover(t) => *t,
+        }
+    }
+}
+
+/// Classification of a process over the planned horizon (Section 3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessClass {
+    /// The process never crashes, or eventually recovers and stays up.
+    Good,
+    /// The process eventually remains crashed or keeps oscillating.
+    Bad,
+}
+
+/// A declarative crash/recovery schedule for a whole deployment.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<(ProcessId, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every process stays up forever.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash of `p` at `at`.
+    pub fn crash(mut self, p: ProcessId, at: SimTime) -> Self {
+        self.events.push((p, FaultEvent::Crash(at)));
+        self
+    }
+
+    /// Adds a recovery of `p` at `at`.
+    pub fn recover(mut self, p: ProcessId, at: SimTime) -> Self {
+        self.events.push((p, FaultEvent::Recover(at)));
+        self
+    }
+
+    /// Adds a crash at `crash_at` followed by a recovery after `downtime`.
+    pub fn crash_for(self, p: ProcessId, crash_at: SimTime, downtime: SimDuration) -> Self {
+        self.crash(p, crash_at).recover(p, crash_at + downtime)
+    }
+
+    /// Makes `p` a *bad* process that oscillates forever (well, until
+    /// `horizon`): up for `up_for`, down for `down_for`, repeatedly,
+    /// starting with a crash at `start`.
+    pub fn oscillate(
+        mut self,
+        p: ProcessId,
+        start: SimTime,
+        up_for: SimDuration,
+        down_for: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        let mut t = start;
+        while t < horizon {
+            self.events.push((p, FaultEvent::Crash(t)));
+            let back_up = t + down_for;
+            if back_up >= horizon {
+                break;
+            }
+            self.events.push((p, FaultEvent::Recover(back_up)));
+            t = back_up + up_for;
+        }
+        self
+    }
+
+    /// Makes `p` crash at `at` and never recover (a bad process that
+    /// eventually remains down).
+    pub fn permanent_crash(self, p: ProcessId, at: SimTime) -> Self {
+        self.crash(p, at)
+    }
+
+    /// Generates random crash/recovery churn for the given processes: each
+    /// process independently alternates up periods drawn from
+    /// `[min_up, max_up]` and down periods from `[min_down, max_down]`
+    /// until `horizon`, after which it stays up (so every process is good
+    /// and liveness assertions still apply).
+    #[allow(clippy::too_many_arguments)]
+    pub fn random_churn(
+        mut self,
+        processes: impl IntoIterator<Item = ProcessId>,
+        seed: u64,
+        min_up: SimDuration,
+        max_up: SimDuration,
+        min_down: SimDuration,
+        max_down: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for p in processes {
+            let mut t = SimTime::ZERO;
+            loop {
+                let up = SimDuration::from_micros(
+                    rng.gen_range(min_up.as_micros()..=max_up.as_micros()),
+                );
+                t = t + up;
+                if t >= horizon {
+                    break;
+                }
+                self.events.push((p, FaultEvent::Crash(t)));
+                let down = SimDuration::from_micros(
+                    rng.gen_range(min_down.as_micros()..=max_down.as_micros()),
+                );
+                t = t + down;
+                if t >= horizon {
+                    // Recover at the horizon so the process ends up good.
+                    self.events.push((p, FaultEvent::Recover(horizon)));
+                    break;
+                }
+                self.events.push((p, FaultEvent::Recover(t)));
+            }
+        }
+        self
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> Vec<(ProcessId, FaultEvent)> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|(_, e)| e.at());
+        sorted
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total number of crash events for process `p`.
+    pub fn crash_count(&self, p: ProcessId) -> usize {
+        self.events
+            .iter()
+            .filter(|(q, e)| *q == p && matches!(e, FaultEvent::Crash(_)))
+            .count()
+    }
+
+    /// Classifies `p`: good if its last scheduled lifecycle event (if any)
+    /// is a recovery — i.e. the plan leaves it up.
+    pub fn classify(&self, p: ProcessId) -> ProcessClass {
+        let last = self
+            .events
+            .iter()
+            .filter(|(q, _)| *q == p)
+            .max_by_key(|(_, e)| e.at());
+        match last {
+            None | Some((_, FaultEvent::Recover(_))) => ProcessClass::Good,
+            Some((_, FaultEvent::Crash(_))) => ProcessClass::Bad,
+        }
+    }
+
+    /// Every process of `n` that the plan leaves good.
+    pub fn good_processes(&self, n: usize) -> Vec<ProcessId> {
+        (0..n as u32)
+            .map(ProcessId::new)
+            .filter(|p| self.classify(*p) == ProcessClass::Good)
+            .collect()
+    }
+
+    /// Schedules every event of this plan on `sim`.
+    pub fn apply<A: Actor>(&self, sim: &mut Simulation<A>) {
+        for (p, event) in self.events() {
+            match event {
+                FaultEvent::Crash(at) => sim.crash_at(p, at),
+                FaultEvent::Recover(at) => sim.recover_at(p, at),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+    fn d(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn empty_plan_classifies_everyone_good() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.classify(p(0)), ProcessClass::Good);
+        assert_eq!(plan.good_processes(3), vec![p(0), p(1), p(2)]);
+    }
+
+    #[test]
+    fn crash_for_schedules_crash_then_recovery() {
+        let plan = FaultPlan::none().crash_for(p(1), t(100), d(50));
+        let events = plan.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], (p(1), FaultEvent::Crash(t(100))));
+        assert_eq!(events[1], (p(1), FaultEvent::Recover(t(150))));
+        assert_eq!(plan.classify(p(1)), ProcessClass::Good);
+        assert_eq!(plan.crash_count(p(1)), 1);
+    }
+
+    #[test]
+    fn permanent_crash_makes_a_bad_process() {
+        let plan = FaultPlan::none().permanent_crash(p(2), t(10));
+        assert_eq!(plan.classify(p(2)), ProcessClass::Bad);
+        assert_eq!(plan.good_processes(3), vec![p(0), p(1)]);
+    }
+
+    #[test]
+    fn oscillation_generates_alternating_events_within_horizon() {
+        let plan = FaultPlan::none().oscillate(p(0), t(10), d(20), d(5), t(100));
+        let events = plan.events();
+        assert!(events.len() >= 4);
+        // Alternates crash / recover and stays within the horizon.
+        for window in events.windows(2) {
+            assert!(window[0].1.at() <= window[1].1.at());
+        }
+        for (_, e) in &events {
+            assert!(e.at() < t(100) || matches!(e, FaultEvent::Recover(_)));
+        }
+        let crashes = plan.crash_count(p(0));
+        assert!(crashes >= 2, "an oscillating process crashes repeatedly");
+    }
+
+    #[test]
+    fn events_are_sorted_by_time() {
+        let plan = FaultPlan::none()
+            .crash(p(0), t(50))
+            .recover(p(0), t(70))
+            .crash(p(1), t(10));
+        let times: Vec<u64> = plan.events().iter().map(|(_, e)| e.at().as_micros()).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_and_leaves_processes_good() {
+        let make = |seed| {
+            FaultPlan::none().random_churn(
+                [p(0), p(1), p(2)],
+                seed,
+                d(20),
+                d(60),
+                d(5),
+                d(25),
+                t(500),
+            )
+        };
+        let a = make(1);
+        let b = make(1);
+        let c = make(2);
+        assert_eq!(a.events(), b.events());
+        assert_ne!(a.events(), c.events());
+        assert!(!a.is_empty());
+        for proc in [p(0), p(1), p(2)] {
+            assert_eq!(a.classify(proc), ProcessClass::Good, "{proc}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic discrete-event simulator for crash-recovery protocols.
+//!
+//! The paper's system model (Section 2.1) — asynchronous processes that
+//! crash and recover, stable storage, fair-lossy non-FIFO duplicating
+//! channels with arbitrary delays — is exactly what this crate simulates:
+//!
+//! * [`Simulation`] — the event loop: virtual time, seeded randomness,
+//!   per-process actors and stable storage, message loss/duplication/delay,
+//!   crash and recovery events, client-request injection;
+//! * [`FaultPlan`] — declarative crash/recovery schedules, including the
+//!   *good*/*bad* process taxonomy of Section 3.3 (good processes
+//!   eventually remain up, bad ones crash forever or oscillate);
+//! * [`Event`] / [`EventQueue`] — the underlying time-ordered queue.
+//!
+//! Runs are reproducible: the same seed and the same schedule produce the
+//! same behaviour, which the experiment harness relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod faults;
+pub mod simulation;
+
+pub use event::{Event, EventQueue};
+pub use faults::{FaultEvent, FaultPlan, ProcessClass};
+pub use simulation::{ProcessStats, SimConfig, SimStats, Simulation};

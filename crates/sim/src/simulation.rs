@@ -1,0 +1,796 @@
+//! The deterministic discrete-event simulation runtime.
+//!
+//! A [`Simulation`] owns the whole "world" of one run: the virtual clock,
+//! the event queue, the fair-lossy network, each process's stable storage
+//! and each process's actor (or the fact that it is currently down).
+//! Because every source of non-determinism — message loss, duplication,
+//! delay, crash and recovery times — is drawn from a single seeded RNG or
+//! scheduled explicitly, two runs with the same seed and the same schedule
+//! produce byte-for-byte identical behaviour.  All experiments and most
+//! tests in the workspace are built on this runtime.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use abcast_net::{Actor, ActorContext, LinkConfig, LinkModel, NetworkMetrics, TimerId};
+use abcast_storage::{SharedStorage, StorageRegistry};
+use abcast_types::{ProcessId, ProcessSet, SimDuration, SimTime};
+
+use crate::event::{Event, EventQueue};
+
+/// Static parameters of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of processes in the system.
+    pub processes: usize,
+    /// Seed of the run; every random decision derives from it.
+    pub seed: u64,
+    /// Behaviour of every directed link.
+    pub link: LinkConfig,
+}
+
+impl SimConfig {
+    /// A convenient small configuration: `n` processes, reliable links,
+    /// seed 0.
+    pub fn reliable(n: usize) -> Self {
+        SimConfig {
+            processes: n,
+            seed: 0,
+            link: LinkConfig::reliable(),
+        }
+    }
+
+    /// `n` processes over a typical LAN-like lossy link.
+    pub fn lan(n: usize) -> Self {
+        SimConfig {
+            processes: n,
+            seed: 0,
+            link: LinkConfig::lan(),
+        }
+    }
+
+    /// Returns this configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns this configuration with a different link model.
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+}
+
+/// Aggregate counters of one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Events processed so far.
+    pub events: u64,
+    /// Crash events applied.
+    pub crashes: u64,
+    /// Recovery events applied.
+    pub recoveries: u64,
+    /// Client requests handed to an up process.
+    pub client_requests: u64,
+    /// Client requests lost because the target process was down.
+    pub lost_client_requests: u64,
+}
+
+#[derive(Debug, Default)]
+struct TimerTable {
+    generations: HashMap<TimerId, u64>,
+    next_generation: u64,
+}
+
+struct ProcessSlot<A: Actor> {
+    actor: Option<A>,
+    timers: TimerTable,
+    crashes: u64,
+    recoveries: u64,
+    deliveries: u64,
+}
+
+impl<A: Actor> Default for ProcessSlot<A> {
+    fn default() -> Self {
+        ProcessSlot {
+            actor: None,
+            timers: TimerTable::default(),
+            crashes: 0,
+            recoveries: 0,
+            deliveries: 0,
+        }
+    }
+}
+
+/// Per-process counters exposed for assertions and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessStats {
+    /// `true` if the process is currently up.
+    pub up: bool,
+    /// Number of crashes suffered so far.
+    pub crashes: u64,
+    /// Number of recoveries performed so far.
+    pub recoveries: u64,
+    /// Number of transport messages delivered to this process.
+    pub deliveries: u64,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// All processes run the same actor type `A`, built by the factory passed to
+/// [`Simulation::new`]; this mirrors the paper, where every process runs the
+/// same protocol.
+pub struct Simulation<A: Actor> {
+    config: SimConfig,
+    process_set: ProcessSet,
+    now: SimTime,
+    queue: EventQueue<A::Msg>,
+    slots: Vec<ProcessSlot<A>>,
+    storage: StorageRegistry,
+    link: LinkModel,
+    rng: ChaCha8Rng,
+    net_metrics: NetworkMetrics,
+    stats: SimStats,
+    factory: Box<dyn Fn(ProcessId, SharedStorage) -> A>,
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Creates a simulation with fresh in-memory stable storage and starts
+    /// every process at virtual time zero.
+    pub fn new<F>(config: SimConfig, factory: F) -> Self
+    where
+        F: Fn(ProcessId, SharedStorage) -> A + 'static,
+    {
+        let storage = StorageRegistry::in_memory(config.processes);
+        Simulation::with_storage(config, storage, factory)
+    }
+
+    /// Creates a simulation over an existing storage registry (used to
+    /// simulate recovery of a whole deployment from persisted state).
+    pub fn with_storage<F>(config: SimConfig, storage: StorageRegistry, factory: F) -> Self
+    where
+        F: Fn(ProcessId, SharedStorage) -> A + 'static,
+    {
+        assert_eq!(
+            storage.len(),
+            config.processes,
+            "one stable storage per process is required"
+        );
+        let process_set = ProcessSet::new(config.processes);
+        let link = LinkModel::new(config.link.clone());
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut sim = Simulation {
+            process_set,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            slots: (0..config.processes).map(|_| ProcessSlot::default()).collect(),
+            storage,
+            link,
+            rng,
+            net_metrics: NetworkMetrics::new(),
+            stats: SimStats::default(),
+            factory: Box::new(factory),
+            config,
+        };
+        for p in sim.process_set.clone().iter() {
+            sim.boot(p);
+        }
+        sim
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The set of processes.
+    pub fn processes(&self) -> &ProcessSet {
+        &self.process_set
+    }
+
+    /// `true` if process `p` is currently up.
+    pub fn is_up(&self, p: ProcessId) -> bool {
+        self.slots[p.index()].actor.is_some()
+    }
+
+    /// Immutable access to the actor of process `p`, or `None` if it is
+    /// down.
+    pub fn actor(&self, p: ProcessId) -> Option<&A> {
+        self.slots[p.index()].actor.as_ref()
+    }
+
+    /// Runs `f` against the live actor of process `p` with a full actor
+    /// context (so the closure can send messages, arm timers and use
+    /// storage exactly like a handler would), returning its result, or
+    /// `None` if the process is currently down.
+    ///
+    /// This is how harnesses invoke application-facing protocol operations
+    /// (e.g. `A-broadcast`) that need a context and return a value.
+    pub fn with_actor_mut<R>(
+        &mut self,
+        p: ProcessId,
+        f: impl FnOnce(&mut A, &mut dyn ActorContext<A::Msg>) -> R,
+    ) -> Option<R> {
+        if self.slots[p.index()].actor.is_none() {
+            return None;
+        }
+        let mut result = None;
+        self.with_actor(p, |actor, ctx| {
+            result = Some(f(actor, ctx));
+        });
+        result
+    }
+
+    /// Stable storage of process `p`.
+    pub fn storage_for(&self, p: ProcessId) -> SharedStorage {
+        self.storage
+            .storage_for(p)
+            .expect("process is part of the configured set")
+    }
+
+    /// The storage registry of the whole deployment.
+    pub fn storage(&self) -> &StorageRegistry {
+        &self.storage
+    }
+
+    /// Transport metrics of this run.
+    pub fn network_metrics(&self) -> &NetworkMetrics {
+        &self.net_metrics
+    }
+
+    /// Aggregate counters of this run.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Per-process counters.
+    pub fn process_stats(&self, p: ProcessId) -> ProcessStats {
+        let slot = &self.slots[p.index()];
+        ProcessStats {
+            up: slot.actor.is_some(),
+            crashes: slot.crashes,
+            recoveries: slot.recoveries,
+            deliveries: slot.deliveries,
+        }
+    }
+
+    /// Mutable access to the link model, e.g. to cut or heal partitions
+    /// mid-run.
+    pub fn link_mut(&mut self) -> &mut LinkModel {
+        &mut self.link
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling
+    // ------------------------------------------------------------------
+
+    /// Schedules a crash of `p` at absolute time `at`.
+    pub fn crash_at(&mut self, p: ProcessId, at: SimTime) {
+        self.queue.schedule(at.max(self.now), Event::Crash { process: p });
+    }
+
+    /// Schedules a recovery of `p` at absolute time `at`.
+    pub fn recover_at(&mut self, p: ProcessId, at: SimTime) {
+        self.queue
+            .schedule(at.max(self.now), Event::Recover { process: p });
+    }
+
+    /// Crashes `p` immediately (before the next event is processed).
+    pub fn crash_now(&mut self, p: ProcessId) {
+        self.apply_crash(p);
+    }
+
+    /// Recovers `p` immediately (before the next event is processed).
+    pub fn recover_now(&mut self, p: ProcessId) {
+        self.apply_recover(p);
+    }
+
+    /// Schedules a client request (e.g. an `A-broadcast`) at `p` at time
+    /// `at`.
+    pub fn client_request_at(&mut self, p: ProcessId, payload: impl Into<Bytes>, at: SimTime) {
+        self.queue.schedule(
+            at.max(self.now),
+            Event::ClientRequest {
+                process: p,
+                payload: payload.into(),
+            },
+        );
+    }
+
+    /// Delivers a client request to `p` immediately.
+    pub fn client_request_now(&mut self, p: ProcessId, payload: impl Into<Bytes>) {
+        let payload = payload.into();
+        if self.slots[p.index()].actor.is_some() {
+            self.stats.client_requests += 1;
+            self.with_actor(p, |actor, ctx| actor.on_client_request(payload, ctx));
+        } else {
+            self.stats.lost_client_requests += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Running
+    // ------------------------------------------------------------------
+
+    /// Processes the next scheduled event.  Returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "time must not move backwards");
+        self.now = at;
+        self.stats.events += 1;
+        match event {
+            Event::Deliver { to, from, msg } => {
+                if self.slots[to.index()].actor.is_some() {
+                    self.net_metrics.record_delivered();
+                    self.slots[to.index()].deliveries += 1;
+                    self.with_actor(to, |actor, ctx| actor.on_message(from, msg, ctx));
+                } else {
+                    // Messages that arrive while the process is down are
+                    // lost (Section 2.1).
+                    self.net_metrics.record_lost_receiver_down();
+                }
+            }
+            Event::Timer {
+                process,
+                timer,
+                generation,
+            } => {
+                let slot = &mut self.slots[process.index()];
+                let armed = slot.timers.generations.get(&timer) == Some(&generation);
+                if armed && slot.actor.is_some() {
+                    slot.timers.generations.remove(&timer);
+                    self.with_actor(process, |actor, ctx| actor.on_timer(timer, ctx));
+                }
+            }
+            Event::Crash { process } => self.apply_crash(process),
+            Event::Recover { process } => self.apply_recover(process),
+            Event::ClientRequest { process, payload } => {
+                if self.slots[process.index()].actor.is_some() {
+                    self.stats.client_requests += 1;
+                    self.with_actor(process, |actor, ctx| actor.on_client_request(payload, ctx));
+                } else {
+                    self.stats.lost_client_requests += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the virtual clock reaches `deadline` (processing every
+    /// event scheduled strictly before it), then sets the clock to
+    /// `deadline`.
+    pub fn run_until_time(&mut self, deadline: SimTime) {
+        while let Some(next) = self.queue.next_time() {
+            if next > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `duration` of virtual time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now + duration;
+        self.run_until_time(deadline);
+    }
+
+    /// Runs until `predicate` returns `true` or the virtual clock exceeds
+    /// `deadline`.  Returns `true` if the predicate was satisfied.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut predicate: F) -> bool
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        if predicate(self) {
+            return true;
+        }
+        while let Some(next) = self.queue.next_time() {
+            if next > deadline {
+                break;
+            }
+            self.step();
+            if predicate(self) {
+                return true;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        predicate(self)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn boot(&mut self, p: ProcessId) {
+        let storage = self.storage_for(p);
+        let actor = (self.factory)(p, storage);
+        self.slots[p.index()].actor = Some(actor);
+        self.with_actor(p, |actor, ctx| actor.on_start(ctx));
+    }
+
+    fn apply_crash(&mut self, p: ProcessId) {
+        let slot = &mut self.slots[p.index()];
+        if slot.actor.is_none() {
+            return;
+        }
+        slot.actor = None;
+        slot.timers.generations.clear();
+        slot.crashes += 1;
+        self.stats.crashes += 1;
+    }
+
+    fn apply_recover(&mut self, p: ProcessId) {
+        if self.slots[p.index()].actor.is_some() {
+            return;
+        }
+        self.slots[p.index()].recoveries += 1;
+        self.stats.recoveries += 1;
+        self.boot(p);
+    }
+
+    fn with_actor<F>(&mut self, p: ProcessId, f: F)
+    where
+        F: FnOnce(&mut A, &mut dyn ActorContext<A::Msg>),
+    {
+        let idx = p.index();
+        let Some(mut actor) = self.slots[idx].actor.take() else {
+            return;
+        };
+        {
+            let storage = self
+                .storage
+                .storage_for(p)
+                .expect("process is part of the configured set");
+            let mut ctx = SimContext {
+                me: p,
+                now: self.now,
+                process_set: &self.process_set,
+                storage,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                link: &self.link,
+                metrics: &self.net_metrics,
+                timers: &mut self.slots[idx].timers,
+            };
+            f(&mut actor, &mut ctx);
+        }
+        // The actor may have crashed *itself* during the handler only via the
+        // runtime API, which is not reachable from the context, so it is
+        // always put back.
+        self.slots[idx].actor = Some(actor);
+    }
+}
+
+struct SimContext<'a, M> {
+    me: ProcessId,
+    now: SimTime,
+    process_set: &'a ProcessSet,
+    storage: SharedStorage,
+    queue: &'a mut EventQueue<M>,
+    rng: &'a mut ChaCha8Rng,
+    link: &'a LinkModel,
+    metrics: &'a NetworkMetrics,
+    timers: &'a mut TimerTable,
+}
+
+impl<'a, M: Clone> SimContext<'a, M> {
+    fn transmit(&mut self, to: ProcessId, msg: M) {
+        self.metrics.record_sent();
+        let plan = self.link.plan(self.me, to, self.rng);
+        if plan.is_empty() {
+            self.metrics.record_dropped();
+        }
+        for delivery in plan {
+            if delivery.duplicate {
+                self.metrics.record_duplicated();
+            }
+            self.queue.schedule(
+                self.now + delivery.delay,
+                Event::Deliver {
+                    to,
+                    from: self.me,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+}
+
+impl<'a, M: Clone + Send + 'static> ActorContext<M> for SimContext<'a, M> {
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    fn processes(&self) -> &ProcessSet {
+        self.process_set
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn send(&mut self, to: ProcessId, msg: M) {
+        self.transmit(to, msg);
+    }
+
+    fn multisend(&mut self, msg: M) {
+        for to in self.process_set.iter() {
+            // Collecting into the queue immediately keeps per-destination
+            // random decisions in a fixed order, preserving determinism.
+            self.transmit(to, msg.clone());
+        }
+    }
+
+    fn set_timer(&mut self, timer: TimerId, delay: SimDuration) {
+        self.timers.next_generation += 1;
+        let generation = self.timers.next_generation;
+        self.timers.generations.insert(timer, generation);
+        self.queue.schedule(
+            self.now + delay,
+            Event::Timer {
+                process: self.me,
+                timer,
+                generation,
+            },
+        );
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.timers.generations.remove(&timer);
+    }
+
+    fn storage(&self) -> &SharedStorage {
+        &self.storage
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast_storage::{StorageKey, TypedStorageExt};
+
+    /// Test actor: periodically multisends a sequence number, records what
+    /// it received, and persists its send counter.
+    struct Chatter {
+        sent: u64,
+        received: Vec<(ProcessId, u64)>,
+        last_request: Option<Vec<u8>>,
+    }
+
+    const TICK: TimerId = TimerId::new(1);
+
+    impl Chatter {
+        fn new() -> Self {
+            Chatter {
+                sent: 0,
+                received: Vec::new(),
+                last_request: None,
+            }
+        }
+    }
+
+    impl Actor for Chatter {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut dyn ActorContext<u64>) {
+            self.sent = ctx
+                .storage()
+                .load_value(&StorageKey::new("sent"))
+                .unwrap()
+                .unwrap_or(0);
+            ctx.set_timer(TICK, SimDuration::from_millis(10));
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: u64, _ctx: &mut dyn ActorContext<u64>) {
+            self.received.push((from, msg));
+        }
+
+        fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<u64>) {
+            assert_eq!(timer, TICK);
+            self.sent += 1;
+            ctx.storage()
+                .store_value(&StorageKey::new("sent"), &self.sent)
+                .unwrap();
+            ctx.multisend(self.sent);
+            ctx.set_timer(TICK, SimDuration::from_millis(10));
+        }
+
+        fn on_client_request(&mut self, payload: Bytes, _ctx: &mut dyn ActorContext<u64>) {
+            self.last_request = Some(payload.to_vec());
+        }
+    }
+
+    fn sim(n: usize) -> Simulation<Chatter> {
+        Simulation::new(SimConfig::reliable(n), |_, _| Chatter::new())
+    }
+
+    #[test]
+    fn messages_flow_between_processes() {
+        let mut s = sim(3);
+        s.run_for(SimDuration::from_millis(100));
+        for p in s.processes().iter() {
+            let actor = s.actor(p).unwrap();
+            assert!(
+                actor.received.len() >= 10,
+                "{p} received only {} messages",
+                actor.received.len()
+            );
+        }
+        assert!(s.network_metrics().delivered() > 0);
+        assert!(s.stats().events > 0);
+    }
+
+    #[test]
+    fn virtual_time_advances_without_real_time() {
+        let mut s = sim(2);
+        s.run_for(SimDuration::from_secs(60));
+        assert_eq!(s.now(), SimTime::ZERO + SimDuration::from_secs(60));
+        // 60 seconds of virtual time, ~6000 ticks per process.
+        assert!(s.actor(ProcessId::new(0)).unwrap().sent >= 5_000);
+    }
+
+    #[test]
+    fn crash_loses_volatile_state_and_messages() {
+        let mut s = sim(3);
+        let p = ProcessId::new(1);
+        s.run_for(SimDuration::from_millis(50));
+        let received_before = s.actor(p).unwrap().received.len();
+        assert!(received_before > 0);
+
+        s.crash_now(p);
+        assert!(!s.is_up(p));
+        assert!(s.actor(p).is_none());
+        s.run_for(SimDuration::from_millis(50));
+        // Messages sent to the crashed process were lost, not queued.
+        assert!(s.network_metrics().snapshot().lost_receiver_down > 0);
+
+        s.recover_now(p);
+        assert!(s.is_up(p));
+        let actor = s.actor(p).unwrap();
+        // Volatile state was reset...
+        assert!(actor.received.is_empty());
+        // ...but the persistent counter was retrieved.
+        assert!(actor.sent > 0);
+        assert_eq!(s.process_stats(p).crashes, 1);
+        assert_eq!(s.process_stats(p).recoveries, 1);
+    }
+
+    #[test]
+    fn scheduled_crash_and_recovery_apply_at_the_right_time() {
+        let mut s = sim(2);
+        let p = ProcessId::new(0);
+        s.crash_at(p, SimTime::from_micros(30_000));
+        s.recover_at(p, SimTime::from_micros(60_000));
+
+        s.run_until_time(SimTime::from_micros(29_000));
+        assert!(s.is_up(p));
+        s.run_until_time(SimTime::from_micros(31_000));
+        assert!(!s.is_up(p));
+        s.run_until_time(SimTime::from_micros(61_000));
+        assert!(s.is_up(p));
+    }
+
+    #[test]
+    fn client_requests_reach_up_processes_and_are_lost_on_down_ones() {
+        let mut s = sim(2);
+        let p = ProcessId::new(0);
+        s.client_request_now(p, &b"req-1"[..]);
+        assert_eq!(s.actor(p).unwrap().last_request, Some(b"req-1".to_vec()));
+        assert_eq!(s.stats().client_requests, 1);
+
+        s.crash_now(p);
+        s.client_request_now(p, &b"req-2"[..]);
+        assert_eq!(s.stats().lost_client_requests, 1);
+    }
+
+    #[test]
+    fn run_until_stops_when_predicate_holds() {
+        let mut s = sim(3);
+        let satisfied = s.run_until(SimTime::from_micros(10_000_000), |sim| {
+            sim.actor(ProcessId::new(2))
+                .map(|a| a.received.len() >= 20)
+                .unwrap_or(false)
+        });
+        assert!(satisfied);
+        assert!(s.now() < SimTime::from_micros(10_000_000));
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        let run = |seed: u64| {
+            let mut s = Simulation::new(
+                SimConfig::lan(4).with_seed(seed),
+                |_, _| Chatter::new(),
+            );
+            s.crash_at(ProcessId::new(2), SimTime::from_micros(40_000));
+            s.recover_at(ProcessId::new(2), SimTime::from_micros(90_000));
+            s.run_for(SimDuration::from_millis(300));
+            let received: Vec<Vec<(ProcessId, u64)>> = s
+                .processes()
+                .iter()
+                .map(|p| s.actor(p).map(|a| a.received.clone()).unwrap_or_default())
+                .collect();
+            (s.stats(), s.network_metrics().snapshot(), received)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn lossy_links_drop_messages() {
+        let mut s = Simulation::new(
+            SimConfig::reliable(2)
+                .with_link(LinkConfig::reliable().with_loss(0.4))
+                .with_seed(3),
+            |_, _| Chatter::new(),
+        );
+        s.run_for(SimDuration::from_secs(1));
+        let snap = s.network_metrics().snapshot();
+        assert!(snap.dropped > 0, "some messages must be dropped");
+        assert!(snap.delivered > 0, "fair link still delivers");
+        let loss_rate = snap.dropped as f64 / snap.sent as f64;
+        assert!((loss_rate - 0.4).abs() < 0.05, "observed loss {loss_rate}");
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        struct OneShot {
+            fired: bool,
+        }
+        impl Actor for OneShot {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut dyn ActorContext<()>) {
+                ctx.set_timer(TimerId::new(9), SimDuration::from_millis(10));
+                ctx.cancel_timer(TimerId::new(9));
+                ctx.set_timer(TimerId::new(10), SimDuration::from_millis(20));
+                // Re-arming replaces the old deadline.
+                ctx.set_timer(TimerId::new(10), SimDuration::from_millis(40));
+            }
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut dyn ActorContext<()>) {}
+            fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<()>) {
+                assert_eq!(timer, TimerId::new(10));
+                assert_eq!(ctx.now(), SimTime::from_micros(40_000));
+                self.fired = true;
+            }
+        }
+        let mut s = Simulation::new(SimConfig::reliable(1), |_, _| OneShot { fired: false });
+        s.run_for(SimDuration::from_millis(100));
+        assert!(s.actor(ProcessId::new(0)).unwrap().fired);
+    }
+
+    #[test]
+    fn whole_deployment_restart_reuses_storage() {
+        let storage = StorageRegistry::in_memory(2);
+        let mut s = Simulation::with_storage(SimConfig::reliable(2), storage.clone(), |_, _| {
+            Chatter::new()
+        });
+        s.run_for(SimDuration::from_millis(100));
+        let sent_before = s.actor(ProcessId::new(0)).unwrap().sent;
+        drop(s);
+
+        // New simulation over the *same* storage: counters resume.
+        let s2 = Simulation::with_storage(SimConfig::reliable(2), storage, |_, _| Chatter::new());
+        assert!(s2.actor(ProcessId::new(0)).unwrap().sent >= sent_before);
+    }
+}

@@ -1,0 +1,343 @@
+//! File-backed stable storage.
+//!
+//! Each process owns a directory; each slot is a file that is atomically
+//! replaced on `store` (write to a temporary file, then rename), and each
+//! log is a file of length-prefixed records that is extended on `append`.
+//! The layout is deliberately simple: the point of this backend is to give
+//! the runnable examples real crash-surviving storage, not to compete with
+//! a database.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use abcast_types::{AbcastError, Result};
+
+use crate::api::{StableStorage, StorageKey};
+use crate::metrics::StorageMetrics;
+
+/// Stable storage persisted in a directory on the local filesystem.
+#[derive(Debug)]
+pub struct FileStorage {
+    dir: PathBuf,
+    metrics: StorageMetrics,
+    // Serializes compound filesystem operations (tmp-write + rename,
+    // append).  Individual examples run one process per directory, but the
+    // trait requires Sync.
+    lock: Mutex<()>,
+}
+
+impl FileStorage {
+    /// Opens (creating if necessary) the storage rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(FileStorage {
+            dir,
+            metrics: StorageMetrics::new(),
+            lock: Mutex::new(()),
+        })
+    }
+
+    /// The directory backing this storage.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn slot_path(&self, key: &StorageKey) -> PathBuf {
+        self.dir.join(format!("{}.slot", sanitize(key.as_str())))
+    }
+
+    fn log_path(&self, key: &StorageKey) -> PathBuf {
+        self.dir.join(format!("{}.log", sanitize(key.as_str())))
+    }
+}
+
+/// Turns a storage key into a safe file name.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '_' | '.' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Reverses [`sanitize`] only to the extent needed by [`StableStorage::keys`]:
+/// we additionally persist the original key as the first record of each file,
+/// so listing does not need to invert the sanitisation.
+fn read_original_key(path: &Path) -> Result<Option<StorageKey>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(_) => return Ok(None),
+    };
+    let mut len_buf = [0u8; 4];
+    if file.read_exact(&mut len_buf).is_err() {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut name = vec![0u8; len];
+    if file.read_exact(&mut name).is_err() {
+        return Ok(None);
+    }
+    Ok(String::from_utf8(name).ok().map(StorageKey::new))
+}
+
+fn write_header(file: &mut File, key: &StorageKey) -> Result<()> {
+    let name = key.as_str().as_bytes();
+    file.write_all(&(name.len() as u32).to_le_bytes())?;
+    file.write_all(name)?;
+    Ok(())
+}
+
+fn skip_header(data: &[u8]) -> Result<&[u8]> {
+    if data.len() < 4 {
+        return Err(AbcastError::storage("truncated storage file header"));
+    }
+    let len = u32::from_le_bytes(data[..4].try_into().expect("length checked")) as usize;
+    if data.len() < 4 + len {
+        return Err(AbcastError::storage("truncated storage file header"));
+    }
+    Ok(&data[4 + len..])
+}
+
+impl StableStorage for FileStorage {
+    fn store(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
+        let _guard = self.lock.lock();
+        let final_path = self.slot_path(key);
+        let tmp_path = final_path.with_extension("slot.tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            write_header(&mut tmp, key)?;
+            tmp.write_all(value)?;
+            tmp.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        self.metrics.record_store(value.len());
+        Ok(())
+    }
+
+    fn load(&self, key: &StorageKey) -> Result<Option<Vec<u8>>> {
+        let _guard = self.lock.lock();
+        let path = self.slot_path(key);
+        let data = match fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.metrics.record_load(0);
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let value = skip_header(&data)?.to_vec();
+        self.metrics.record_load(value.len());
+        Ok(Some(value))
+    }
+
+    fn append(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
+        let _guard = self.lock.lock();
+        let path = self.log_path(key);
+        let is_new = !path.exists();
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if is_new {
+            write_header(&mut file, key)?;
+        }
+        file.write_all(&(value.len() as u64).to_le_bytes())?;
+        file.write_all(value)?;
+        file.sync_all()?;
+        self.metrics.record_append(value.len());
+        Ok(())
+    }
+
+    fn load_log(&self, key: &StorageKey) -> Result<Vec<Vec<u8>>> {
+        let _guard = self.lock.lock();
+        let path = self.log_path(key);
+        let data = match fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.metrics.record_load(0);
+                return Ok(Vec::new());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut rest = skip_header(&data)?;
+        let mut entries = Vec::new();
+        let mut total = 0usize;
+        while !rest.is_empty() {
+            if rest.len() < 8 {
+                return Err(AbcastError::storage("truncated log record length"));
+            }
+            let len =
+                u64::from_le_bytes(rest[..8].try_into().expect("length checked")) as usize;
+            rest = &rest[8..];
+            if rest.len() < len {
+                return Err(AbcastError::storage("truncated log record body"));
+            }
+            entries.push(rest[..len].to_vec());
+            total += len;
+            rest = &rest[len..];
+        }
+        self.metrics.record_load(total);
+        Ok(entries)
+    }
+
+    fn remove(&self, key: &StorageKey) -> Result<()> {
+        let _guard = self.lock.lock();
+        for path in [self.slot_path(key), self.log_path(key)] {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.metrics.record_remove();
+        Ok(())
+    }
+
+    fn keys(&self) -> Result<Vec<StorageKey>> {
+        let _guard = self.lock.lock();
+        let mut keys = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let ext = path.extension().and_then(|e| e.to_str());
+            if !matches!(ext, Some("slot") | Some("log")) {
+                continue;
+            }
+            if let Some(key) = read_original_key(&path)? {
+                keys.push(key);
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        Ok(keys)
+    }
+
+    fn metrics(&self) -> &StorageMetrics {
+        &self.metrics
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        let _guard = self.lock.lock();
+        fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "abcast-storage-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(name: &str) -> StorageKey {
+        StorageKey::new(name)
+    }
+
+    #[test]
+    fn store_load_round_trip_across_reopen() {
+        let dir = temp_dir("slot");
+        {
+            let s = FileStorage::open(&dir).unwrap();
+            s.store(&key("abcast/proposed/0"), b"proposal").unwrap();
+        }
+        // "Crash": drop the handle, reopen from the same directory.
+        let s = FileStorage::open(&dir).unwrap();
+        assert_eq!(
+            s.load(&key("abcast/proposed/0")).unwrap().unwrap(),
+            b"proposal"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_survives_reopen_in_order() {
+        let dir = temp_dir("log");
+        {
+            let s = FileStorage::open(&dir).unwrap();
+            s.append(&key("log"), b"a").unwrap();
+            s.append(&key("log"), b"bb").unwrap();
+        }
+        let s = FileStorage::open(&dir).unwrap();
+        s.append(&key("log"), b"ccc").unwrap();
+        assert_eq!(
+            s.load_log(&key("log")).unwrap(),
+            vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_keys_read_as_empty() {
+        let dir = temp_dir("missing");
+        let s = FileStorage::open(&dir).unwrap();
+        assert_eq!(s.load(&key("nope")).unwrap(), None);
+        assert!(s.load_log(&key("nope")).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_lists_original_names_even_when_sanitized() {
+        let dir = temp_dir("keys");
+        let s = FileStorage::open(&dir).unwrap();
+        s.store(&key("abcast/proposed/1"), b"x").unwrap();
+        s.append(&key("consensus/5/acks"), b"y").unwrap();
+        let keys = s.keys().unwrap();
+        assert_eq!(
+            keys,
+            vec![key("abcast/proposed/1"), key("consensus/5/acks")]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_both_forms() {
+        let dir = temp_dir("remove");
+        let s = FileStorage::open(&dir).unwrap();
+        s.store(&key("k"), b"x").unwrap();
+        s.append(&key("k"), b"y").unwrap();
+        s.remove(&key("k")).unwrap();
+        assert_eq!(s.load(&key("k")).unwrap(), None);
+        assert!(s.load_log(&key("k")).unwrap().is_empty());
+        assert!(s.keys().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_slot_atomically() {
+        let dir = temp_dir("overwrite");
+        let s = FileStorage::open(&dir).unwrap();
+        s.store(&key("k"), b"first").unwrap();
+        s.store(&key("k"), b"second").unwrap();
+        assert_eq!(s.load(&key("k")).unwrap().unwrap(), b"second");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn footprint_and_metrics_grow_with_writes() {
+        let dir = temp_dir("footprint");
+        let s = FileStorage::open(&dir).unwrap();
+        assert_eq!(s.footprint_bytes(), 0);
+        s.store(&key("k"), &[0u8; 64]).unwrap();
+        assert!(s.footprint_bytes() >= 64);
+        assert_eq!(s.metrics().snapshot().store_ops, 1);
+        assert_eq!(s.metrics().snapshot().bytes_written, 64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,255 @@
+//! Incremental logging of growing collections (Section 5.5).
+//!
+//! "When logging a queue or a set (such as the `Unordered` set) only its new
+//! part (with respect to the previous logging) has to be logged.  This means
+//! that a log operation can be saved each time the current value of a
+//! variable that has to be logged does not differ from its previously logged
+//! value."
+//!
+//! [`IncrementalSetLogger`] implements exactly that optimisation for a set
+//! of [`Encode`]-able elements: each `persist` call writes only the elements
+//! added since the previous call (and nothing at all when the set did not
+//! change), while [`FullSetLogger`] rewrites the whole set every time.  Both
+//! expose the same interface so experiment E5 can swap them and compare
+//! bytes written.
+
+use std::collections::BTreeSet;
+
+use abcast_types::codec::{Decode, Encode};
+use abcast_types::Result;
+
+use crate::api::{StableStorage, StorageKey};
+use crate::typed::TypedStorageExt;
+
+/// Strategy for persisting a monotonically observed set of elements.
+pub trait SetLogger<T> {
+    /// Persists the current contents of `set`, or the part of it that needs
+    /// persisting.  Returns the number of elements actually written (0 when
+    /// the write was skipped entirely).
+    fn persist(&mut self, storage: &dyn StableStorage, set: &BTreeSet<T>) -> Result<usize>;
+
+    /// Reconstructs the most recently persisted set from stable storage.
+    fn recover(&self, storage: &dyn StableStorage) -> Result<BTreeSet<T>>;
+
+    /// Forgets any volatile bookkeeping, as a crash would.  The next
+    /// `persist` must still produce a log from which `recover` returns a
+    /// superset of what was persisted before the crash.
+    fn forget(&mut self);
+}
+
+/// Logs the full value of the set on every call (the unoptimised behaviour).
+#[derive(Debug, Clone)]
+pub struct FullSetLogger {
+    key: StorageKey,
+}
+
+impl FullSetLogger {
+    /// Creates a full-value logger writing to slot `key`.
+    pub fn new(key: StorageKey) -> Self {
+        FullSetLogger { key }
+    }
+}
+
+impl<T: Encode + Decode + Ord + Clone> SetLogger<T> for FullSetLogger {
+    fn persist(&mut self, storage: &dyn StableStorage, set: &BTreeSet<T>) -> Result<usize> {
+        storage.store_value(&self.key, set)?;
+        Ok(set.len())
+    }
+
+    fn recover(&self, storage: &dyn StableStorage) -> Result<BTreeSet<T>> {
+        Ok(storage.load_value(&self.key)?.unwrap_or_default())
+    }
+
+    fn forget(&mut self) {}
+}
+
+/// Logs only the elements added since the previous `persist` call.
+///
+/// Elements are only ever *added* between persists by the protocol (removal
+/// happens implicitly when the set is re-created after delivery), so the
+/// union of all appended increments is always a superset of the last
+/// persisted value — which is exactly the guarantee `A-broadcast` needs
+/// (a message may be delivered twice to the `Unordered` set but never lost;
+/// duplicates are eliminated by identity, Section 4.1).
+#[derive(Debug, Clone)]
+pub struct IncrementalSetLogger<T> {
+    key: StorageKey,
+    last_persisted: BTreeSet<T>,
+}
+
+impl<T: Ord + Clone> IncrementalSetLogger<T> {
+    /// Creates an incremental logger appending to log `key`.
+    pub fn new(key: StorageKey) -> Self {
+        IncrementalSetLogger {
+            key,
+            last_persisted: BTreeSet::new(),
+        }
+    }
+
+    /// Number of elements known to already be on stable storage.
+    pub fn persisted_len(&self) -> usize {
+        self.last_persisted.len()
+    }
+}
+
+impl<T: Encode + Decode + Ord + Clone> SetLogger<T> for IncrementalSetLogger<T> {
+    fn persist(&mut self, storage: &dyn StableStorage, set: &BTreeSet<T>) -> Result<usize> {
+        let new_elements: Vec<T> = set
+            .iter()
+            .filter(|e| !self.last_persisted.contains(*e))
+            .cloned()
+            .collect();
+        if new_elements.is_empty() {
+            // Nothing changed since the previous log operation: the write is
+            // saved entirely (Section 5.5).
+            return Ok(0);
+        }
+        storage.append_value(&self.key, &new_elements)?;
+        for e in &new_elements {
+            self.last_persisted.insert(e.clone());
+        }
+        Ok(new_elements.len())
+    }
+
+    fn recover(&self, storage: &dyn StableStorage) -> Result<BTreeSet<T>> {
+        let increments: Vec<Vec<T>> = storage.load_log_values(&self.key)?;
+        Ok(increments.into_iter().flatten().collect())
+    }
+
+    fn forget(&mut self) {
+        self.last_persisted.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStorage;
+    use proptest::prelude::*;
+
+    fn set(items: &[u64]) -> BTreeSet<u64> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn full_logger_rewrites_everything() {
+        let storage = InMemoryStorage::new();
+        let mut logger = FullSetLogger::new(StorageKey::new("s"));
+        assert_eq!(logger.persist(&storage, &set(&[1, 2])).unwrap(), 2);
+        assert_eq!(logger.persist(&storage, &set(&[1, 2, 3])).unwrap(), 3);
+        assert_eq!(
+            SetLogger::<u64>::recover(&logger, &storage).unwrap(),
+            set(&[1, 2, 3])
+        );
+        assert_eq!(storage.metrics().snapshot().store_ops, 2);
+    }
+
+    #[test]
+    fn incremental_logger_writes_only_new_elements() {
+        let storage = InMemoryStorage::new();
+        let mut logger = IncrementalSetLogger::<u64>::new(StorageKey::new("s"));
+        assert_eq!(logger.persist(&storage, &set(&[1, 2])).unwrap(), 2);
+        assert_eq!(logger.persist(&storage, &set(&[1, 2, 3])).unwrap(), 1);
+        assert_eq!(logger.persist(&storage, &set(&[1, 2, 3])).unwrap(), 0);
+        assert_eq!(logger.recover(&storage).unwrap(), set(&[1, 2, 3]));
+        // Two appends, the third persist was skipped.
+        assert_eq!(storage.metrics().snapshot().append_ops, 2);
+    }
+
+    #[test]
+    fn incremental_logger_writes_fewer_bytes_than_full() {
+        let full_storage = InMemoryStorage::new();
+        let incr_storage = InMemoryStorage::new();
+        let mut full = FullSetLogger::new(StorageKey::new("s"));
+        let mut incr = IncrementalSetLogger::<u64>::new(StorageKey::new("s"));
+        let mut current = BTreeSet::new();
+        for i in 0u64..50 {
+            current.insert(i);
+            full.persist(&full_storage, &current).unwrap();
+            incr.persist(&incr_storage, &current).unwrap();
+        }
+        assert_eq!(
+            SetLogger::<u64>::recover(&full, &full_storage).unwrap(),
+            incr.recover(&incr_storage).unwrap()
+        );
+        assert!(
+            incr_storage.metrics().bytes_written() < full_storage.metrics().bytes_written(),
+            "incremental ({}) should write fewer bytes than full ({})",
+            incr_storage.metrics().bytes_written(),
+            full_storage.metrics().bytes_written()
+        );
+    }
+
+    #[test]
+    fn incremental_recovery_after_forget_is_a_superset() {
+        let storage = InMemoryStorage::new();
+        let mut logger = IncrementalSetLogger::<u64>::new(StorageKey::new("s"));
+        logger.persist(&storage, &set(&[1, 2, 3])).unwrap();
+
+        // Crash: volatile bookkeeping lost.
+        logger.forget();
+        assert_eq!(logger.persisted_len(), 0);
+
+        // After recovery the process persists again, possibly re-writing
+        // elements it no longer knows are logged — correct, just not
+        // minimal.
+        logger.persist(&storage, &set(&[2, 3, 4])).unwrap();
+        let recovered = logger.recover(&storage).unwrap();
+        assert!(recovered.is_superset(&set(&[1, 2, 3, 4])));
+    }
+
+    #[test]
+    fn empty_set_never_writes() {
+        let storage = InMemoryStorage::new();
+        let mut logger = IncrementalSetLogger::<u64>::new(StorageKey::new("s"));
+        assert_eq!(logger.persist(&storage, &BTreeSet::new()).unwrap(), 0);
+        assert_eq!(storage.metrics().write_ops(), 0);
+        assert!(logger.recover(&storage).unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_incremental_and_full_recover_the_same_set(
+            additions in proptest::collection::vec(
+                proptest::collection::vec(0u64..1000, 0..10), 1..20)) {
+            let full_storage = InMemoryStorage::new();
+            let incr_storage = InMemoryStorage::new();
+            let mut full = FullSetLogger::new(StorageKey::new("s"));
+            let mut incr = IncrementalSetLogger::<u64>::new(StorageKey::new("s"));
+            let mut current: BTreeSet<u64> = BTreeSet::new();
+            for batch in additions {
+                current.extend(batch);
+                full.persist(&full_storage, &current).unwrap();
+                incr.persist(&incr_storage, &current).unwrap();
+            }
+            prop_assert_eq!(
+                SetLogger::<u64>::recover(&full, &full_storage).unwrap(),
+                current.clone()
+            );
+            prop_assert_eq!(incr.recover(&incr_storage).unwrap(), current);
+            // Incremental never writes more bytes than full rewriting.
+            prop_assert!(incr_storage.metrics().bytes_written()
+                <= full_storage.metrics().bytes_written() + 8 * 20);
+        }
+
+        #[test]
+        fn prop_recovery_after_random_crashes_is_superset(
+            steps in proptest::collection::vec(
+                (proptest::collection::vec(0u64..100, 0..5), any::<bool>()), 1..20)) {
+            let storage = InMemoryStorage::new();
+            let mut logger = IncrementalSetLogger::<u64>::new(StorageKey::new("s"));
+            let mut current: BTreeSet<u64> = BTreeSet::new();
+            let mut persisted_high_water: BTreeSet<u64> = BTreeSet::new();
+            for (batch, crash) in steps {
+                current.extend(batch);
+                logger.persist(&storage, &current).unwrap();
+                persisted_high_water = current.clone();
+                if crash {
+                    logger.forget();
+                }
+            }
+            let recovered = logger.recover(&storage).unwrap();
+            prop_assert!(recovered.is_superset(&persisted_high_water));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Well-known stable-storage keys used by the protocol stack.
+//!
+//! Centralising key construction keeps the storage layout documented in one
+//! place and lets recovery code enumerate related records (e.g. "every
+//! logged proposal") without string literals scattered across crates.
+//!
+//! Layout:
+//!
+//! | Key | Kind | Written by | Paper |
+//! |-----|------|-----------|-------|
+//! | `abcast/proposed/<k>` | slot | sequencer task, before `propose(k, ·)` | §4.2 |
+//! | `abcast/agreed` | slot | checkpoint task: `(k, Agreed)` | §5.1 |
+//! | `abcast/unordered` | slot/log | `A-broadcast` when early-return batching is on | §5.4 |
+//! | `abcast/unordered/incr` | log | incremental variant of the above | §5.5 |
+//! | `consensus/<k>/promised` | slot | consensus acceptor | §3.2 |
+//! | `consensus/<k>/accepted` | slot | consensus acceptor | §3.2 |
+//! | `consensus/<k>/decided` | slot | consensus learner | §3.2 |
+//! | `app/checkpoint` | slot | application-level checkpoint | §5.2 |
+
+use abcast_types::Round;
+
+use crate::api::StorageKey;
+
+/// Prefix shared by every key written by the atomic broadcast layer.
+pub const ABCAST_PREFIX: &str = "abcast/";
+/// Prefix shared by every key written by the consensus substrate.
+pub const CONSENSUS_PREFIX: &str = "consensus/";
+
+/// Key of the value proposed to the `k`-th consensus instance
+/// (`Proposed_p[k]` in Figure 2).
+pub fn proposed(k: Round) -> StorageKey {
+    StorageKey::new(format!("abcast/proposed/{k}"))
+}
+
+/// Key of the periodic `(k, Agreed)` checkpoint of the alternative protocol
+/// (Figure 4, line *b*).
+pub fn agreed_checkpoint() -> StorageKey {
+    StorageKey::new("abcast/agreed")
+}
+
+/// Key of the logged `Unordered` set (Section 5.4, early-return
+/// `A-broadcast`).
+pub fn unordered() -> StorageKey {
+    StorageKey::new("abcast/unordered")
+}
+
+/// Key of the incremental log of `Unordered` additions (Section 5.5).
+pub fn unordered_incremental() -> StorageKey {
+    StorageKey::new("abcast/unordered/incr")
+}
+
+/// Key of the application-level checkpoint (Section 5.2).
+pub fn app_checkpoint() -> StorageKey {
+    StorageKey::new("app/checkpoint")
+}
+
+/// Key of the value this process proposed to consensus instance `k`.
+///
+/// The paper (Section 4.2) notes that logging the proposed value "is
+/// actually done as the first operation of the Consensus"; accordingly the
+/// consensus substrate owns this record and the atomic broadcast layer
+/// reads proposals back *through* the consensus interface on recovery
+/// ("the process parses the log of proposed and agreed values (which is
+/// kept internally by Consensus)").
+pub fn consensus_proposal(k: Round) -> StorageKey {
+    StorageKey::new(format!("consensus/{k}/proposal"))
+}
+
+/// Key of the acceptor's highest promised ballot for consensus instance `k`.
+pub fn consensus_promised(k: Round) -> StorageKey {
+    StorageKey::new(format!("consensus/{k}/promised"))
+}
+
+/// Key of the acceptor's last accepted `(ballot, value)` for consensus
+/// instance `k`.
+pub fn consensus_accepted(k: Round) -> StorageKey {
+    StorageKey::new(format!("consensus/{k}/accepted"))
+}
+
+/// Key of the learned decision of consensus instance `k`.
+pub fn consensus_decided(k: Round) -> StorageKey {
+    StorageKey::new(format!("consensus/{k}/decided"))
+}
+
+/// Extracts the round number from a `abcast/proposed/<k>` key, if it is one.
+pub fn parse_proposed(key: &StorageKey) -> Option<Round> {
+    key.as_str()
+        .strip_prefix("abcast/proposed/")
+        .and_then(|rest| rest.parse::<u64>().ok())
+        .map(Round::new)
+}
+
+/// Extracts the round number from a `consensus/<k>/decided` key, if it is
+/// one.
+pub fn parse_consensus_decided(key: &StorageKey) -> Option<Round> {
+    let rest = key.as_str().strip_prefix(CONSENSUS_PREFIX)?;
+    let (round, tail) = rest.split_once('/')?;
+    if tail != "decided" {
+        return None;
+    }
+    round.parse::<u64>().ok().map(Round::new)
+}
+
+/// Extracts the instance number from any `consensus/<k>/…` key.
+pub fn parse_consensus_instance(key: &StorageKey) -> Option<Round> {
+    let rest = key.as_str().strip_prefix(CONSENSUS_PREFIX)?;
+    let (round, _tail) = rest.split_once('/')?;
+    round.parse::<u64>().ok().map(Round::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proposed_keys_embed_the_round() {
+        assert_eq!(proposed(Round::new(0)).as_str(), "abcast/proposed/0");
+        assert_eq!(proposed(Round::new(42)).as_str(), "abcast/proposed/42");
+        assert_ne!(proposed(Round::new(1)), proposed(Round::new(2)));
+    }
+
+    #[test]
+    fn parse_proposed_inverts_construction() {
+        for k in [0u64, 1, 7, 1_000_000] {
+            let round = Round::new(k);
+            assert_eq!(parse_proposed(&proposed(round)), Some(round));
+        }
+        assert_eq!(parse_proposed(&agreed_checkpoint()), None);
+        assert_eq!(parse_proposed(&StorageKey::new("abcast/proposed/xyz")), None);
+    }
+
+    #[test]
+    fn consensus_keys_embed_round_and_role() {
+        let k = Round::new(3);
+        assert_eq!(consensus_proposal(k).as_str(), "consensus/3/proposal");
+        assert_eq!(consensus_promised(k).as_str(), "consensus/3/promised");
+        assert_eq!(consensus_accepted(k).as_str(), "consensus/3/accepted");
+        assert_eq!(consensus_decided(k).as_str(), "consensus/3/decided");
+    }
+
+    #[test]
+    fn parse_consensus_instance_accepts_any_role() {
+        let k = Round::new(9);
+        for key in [
+            consensus_proposal(k),
+            consensus_promised(k),
+            consensus_accepted(k),
+            consensus_decided(k),
+        ] {
+            assert_eq!(parse_consensus_instance(&key), Some(k));
+        }
+        assert_eq!(parse_consensus_instance(&proposed(k)), None);
+        assert_eq!(
+            parse_consensus_instance(&StorageKey::new("consensus/nope/decided")),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_consensus_decided_inverts_construction() {
+        let k = Round::new(17);
+        assert_eq!(parse_consensus_decided(&consensus_decided(k)), Some(k));
+        assert_eq!(parse_consensus_decided(&consensus_promised(k)), None);
+        assert_eq!(parse_consensus_decided(&proposed(k)), None);
+    }
+
+    #[test]
+    fn fixed_keys_are_stable() {
+        assert_eq!(agreed_checkpoint().as_str(), "abcast/agreed");
+        assert_eq!(unordered().as_str(), "abcast/unordered");
+        assert_eq!(unordered_incremental().as_str(), "abcast/unordered/incr");
+        assert_eq!(app_checkpoint().as_str(), "app/checkpoint");
+    }
+
+    #[test]
+    fn abcast_keys_share_the_prefix() {
+        assert!(proposed(Round::new(1)).has_prefix(ABCAST_PREFIX));
+        assert!(agreed_checkpoint().has_prefix(ABCAST_PREFIX));
+        assert!(unordered().has_prefix(ABCAST_PREFIX));
+        assert!(consensus_decided(Round::new(1)).has_prefix(CONSENSUS_PREFIX));
+    }
+}

@@ -1,0 +1,36 @@
+//! Stable-storage substrate for the crash-recovery atomic broadcast stack.
+//!
+//! Section 2.1 of the paper equips every process with a *stable storage*
+//! accessed through `log` and `retrieve` primitives: it survives crashes,
+//! unlike volatile memory.  This crate provides that substrate:
+//!
+//! * [`StableStorage`] — the `log`/`retrieve` interface, with named slots
+//!   (overwritten in place) and append-only logs;
+//! * [`InMemoryStorage`] — crash-surviving in-memory backend used by the
+//!   deterministic simulator, tests and benchmarks;
+//! * [`FileStorage`] — file-backed backend used by the runnable examples;
+//! * [`StorageRegistry`] — one storage per process of a deployment;
+//! * [`TypedStorageExt`] — typed reads/writes through the binary codec;
+//! * [`keys`] — the documented key layout used by the protocol stack;
+//! * [`StorageMetrics`] — per-operation and per-byte accounting, the basis
+//!   of the minimal-logging experiments (E1, E5, E8);
+//! * [`IncrementalSetLogger`] / [`FullSetLogger`] — the incremental logging
+//!   optimisation of Section 5.5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod file;
+pub mod incremental;
+pub mod keys;
+pub mod memory;
+pub mod metrics;
+pub mod typed;
+
+pub use api::{SharedStorage, StableStorage, StorageKey, StorageRegistry};
+pub use file::FileStorage;
+pub use incremental::{FullSetLogger, IncrementalSetLogger, SetLogger};
+pub use memory::InMemoryStorage;
+pub use metrics::{StorageMetrics, StorageSnapshot};
+pub use typed::TypedStorageExt;

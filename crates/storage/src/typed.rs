@@ -1,0 +1,124 @@
+//! Typed convenience layer over the byte-oriented [`StableStorage`].
+//!
+//! Protocol code stores structured values (proposals, checkpoints, queues);
+//! this module couples the binary codec of `abcast-types` with the storage
+//! trait so call sites read naturally:
+//!
+//! ```
+//! use abcast_storage::{InMemoryStorage, StorageKey, TypedStorageExt};
+//!
+//! let storage = InMemoryStorage::new();
+//! storage.store_value(&StorageKey::new("round"), &7u64).unwrap();
+//! let round: Option<u64> = storage.load_value(&StorageKey::new("round")).unwrap();
+//! assert_eq!(round, Some(7));
+//! ```
+
+use abcast_types::codec::{from_bytes, to_bytes, Decode, Encode};
+use abcast_types::Result;
+
+use crate::api::{StableStorage, StorageKey};
+
+/// Extension methods for reading and writing codec-encoded values.
+///
+/// Implemented for every [`StableStorage`], including trait objects.
+pub trait TypedStorageExt {
+    /// Encodes `value` and overwrites the slot `key` with it.
+    fn store_value<T: Encode + ?Sized>(&self, key: &StorageKey, value: &T) -> Result<()>;
+
+    /// Loads and decodes the slot `key`, or `None` if absent.
+    fn load_value<T: Decode>(&self, key: &StorageKey) -> Result<Option<T>>;
+
+    /// Encodes `value` and appends it to the log `key`.
+    fn append_value<T: Encode + ?Sized>(&self, key: &StorageKey, value: &T) -> Result<()>;
+
+    /// Loads and decodes every record of the log `key`, in append order.
+    fn load_log_values<T: Decode>(&self, key: &StorageKey) -> Result<Vec<T>>;
+}
+
+impl<S: StableStorage + ?Sized> TypedStorageExt for S {
+    fn store_value<T: Encode + ?Sized>(&self, key: &StorageKey, value: &T) -> Result<()> {
+        self.store(key, &to_bytes(value))
+    }
+
+    fn load_value<T: Decode>(&self, key: &StorageKey) -> Result<Option<T>> {
+        match self.load(key)? {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(from_bytes(&bytes)?)),
+        }
+    }
+
+    fn append_value<T: Encode + ?Sized>(&self, key: &StorageKey, value: &T) -> Result<()> {
+        self.append(key, &to_bytes(value))
+    }
+
+    fn load_log_values<T: Decode>(&self, key: &StorageKey) -> Result<Vec<T>> {
+        self.load_log(key)?
+            .iter()
+            .map(|bytes| from_bytes(bytes).map_err(Into::into))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryStorage;
+    use abcast_types::{AbcastError, AppMessage, ProcessId};
+
+    fn key(name: &str) -> StorageKey {
+        StorageKey::new(name)
+    }
+
+    #[test]
+    fn typed_slot_round_trip() {
+        let s = InMemoryStorage::new();
+        let value = (42u64, "hello".to_string());
+        s.store_value(&key("pair"), &value).unwrap();
+        let back: Option<(u64, String)> = s.load_value(&key("pair")).unwrap();
+        assert_eq!(back, Some(value));
+    }
+
+    #[test]
+    fn typed_missing_slot_is_none() {
+        let s = InMemoryStorage::new();
+        let got: Option<u64> = s.load_value(&key("missing")).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn typed_log_round_trip() {
+        let s = InMemoryStorage::new();
+        for i in 0u64..5 {
+            s.append_value(&key("log"), &i).unwrap();
+        }
+        let back: Vec<u64> = s.load_log_values(&key("log")).unwrap();
+        assert_eq!(back, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn corrupt_slot_surfaces_decode_error() {
+        let s = InMemoryStorage::new();
+        s.store(&key("broken"), &[1, 2, 3]).unwrap();
+        let got: Result<Option<u64>> = s.load_value(&key("broken"));
+        assert!(matches!(got, Err(AbcastError::Corrupt(_))));
+    }
+
+    #[test]
+    fn works_through_a_trait_object() {
+        let s: std::sync::Arc<dyn StableStorage> =
+            std::sync::Arc::new(InMemoryStorage::new());
+        let m = AppMessage::from_parts(ProcessId::new(1), 7, b"payload".to_vec());
+        s.store_value(&key("msg"), &m).unwrap();
+        let back: Option<AppMessage> = s.load_value(&key("msg")).unwrap();
+        assert_eq!(back, Some(m));
+    }
+
+    #[test]
+    fn typed_writes_are_counted_by_metrics() {
+        let s = InMemoryStorage::new();
+        s.store_value(&key("v"), &123u64).unwrap();
+        s.append_value(&key("l"), &456u64).unwrap();
+        assert_eq!(s.metrics().write_ops(), 2);
+        assert!(s.metrics().bytes_written() >= 16);
+    }
+}

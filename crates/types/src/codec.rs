@@ -1,0 +1,626 @@
+//! A small, self-contained binary codec.
+//!
+//! Stable storage records (Section 2.1: `log`/`retrieve`) and wire frames
+//! need a byte representation.  Rather than pulling in an external
+//! serialization format, the workspace uses this hand-rolled,
+//! length-prefixed, little-endian codec: it is deterministic, versioned by
+//! construction (each record type owns its layout) and lets the storage
+//! substrate measure *exactly* how many bytes each log operation writes —
+//! which is what experiments E1 and E5 (minimal and incremental logging)
+//! measure.
+//!
+//! The API mirrors the usual `Encode`/`Decode` pair:
+//!
+//! ```
+//! use abcast_types::codec::{Decode, Encode, Encoder, Decoder};
+//!
+//! let value: (u64, String) = (42, "hello".to_string());
+//! let bytes = abcast_types::codec::to_bytes(&value);
+//! let back: (u64, String) = abcast_types::codec::from_bytes(&bytes).unwrap();
+//! assert_eq!(value, back);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Error produced when decoding malformed or truncated bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    message: String,
+}
+
+impl DecodeError {
+    /// Creates a decode error describing truncated input.
+    pub fn truncated(expected: usize, remaining: usize) -> Self {
+        DecodeError {
+            message: format!("truncated input: needed {expected} bytes, {remaining} remaining"),
+        }
+    }
+
+    /// Creates a decode error describing an invalid encoding.
+    pub fn invalid(what: impl Into<String>) -> Self {
+        DecodeError {
+            message: what.into(),
+        }
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Incrementally builds the byte representation of a record.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Creates an encoder with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a boolean as one byte (`0` or `1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a `u32` in little-endian order.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` in little-endian order.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` in little-endian order.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads values back out of a byte slice produced by an [`Encoder`].
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take_slice(&mut self, len: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < len {
+            return Err(DecodeError::truncated(len, self.remaining()));
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take_slice(1)?[0])
+    }
+
+    /// Reads a boolean encoded as one byte.
+    pub fn take_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::invalid(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        let slice = self.take_slice(4)?;
+        Ok(u32::from_le_bytes(slice.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let slice = self.take_slice(8)?;
+        Ok(u64::from_le_bytes(slice.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64, DecodeError> {
+        let slice = self.take_slice(8)?;
+        Ok(i64::from_le_bytes(slice.try_into().expect("length checked")))
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.take_u64()? as usize;
+        self.take_slice(len)
+    }
+}
+
+/// Types that can be written to the binary codec.
+pub trait Encode {
+    /// Appends the binary representation of `self` to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience: encodes `self` into a fresh byte vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Number of bytes the encoding of `self` occupies.
+    fn encoded_len(&self) -> usize {
+        self.encode_to_vec().len()
+    }
+}
+
+/// Types that can be read back from the binary codec.
+pub trait Decode: Sized {
+    /// Reads one value from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+}
+
+/// Encodes `value` into a fresh byte vector.
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    value.encode_to_vec()
+}
+
+/// Decodes a value of type `T` from `bytes`, requiring that every byte is
+/// consumed.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut dec = Decoder::new(bytes);
+    let value = T::decode(&mut dec)?;
+    if !dec.is_exhausted() {
+        return Err(DecodeError::invalid(format!(
+            "{} trailing bytes after value",
+            dec.remaining()
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for primitives and std containers
+// ---------------------------------------------------------------------------
+
+impl Encode for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_u8()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+}
+
+impl Decode for bool {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_bool()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_u32()
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_u64()
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_i64(*self);
+    }
+}
+
+impl Decode for i64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        dec.take_i64()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let v = dec.take_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::invalid("usize overflow"))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let bytes = dec.take_bytes()?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::invalid("invalid UTF-8"))
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Bytes::copy_from_slice(dec.take_bytes()?))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_bool(false),
+            Some(v) => {
+                enc.put_bool(true);
+                v.encode(enc);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        if dec.take_bool()? {
+            Ok(Some(T::decode(dec)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.take_u64()? as usize;
+        // Guard against absurd lengths from corrupted input: never
+        // pre-allocate more than the remaining bytes could possibly hold.
+        let mut out = Vec::with_capacity(len.min(dec.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for VecDeque<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<T: Decode> Decode for VecDeque<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let v: Vec<T> = Vec::decode(dec)?;
+        Ok(v.into())
+    }
+}
+
+impl<T: Encode + Ord> Encode for BTreeSet<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.len() as u64);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<T: Decode + Ord> Decode for BTreeSet<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.take_u64()? as usize;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Encode + Ord, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.len() as u64);
+        for (k, v) in self {
+            k.encode(enc);
+            v.encode(enc);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = dec.take_u64()? as usize;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(dec)?;
+            let v = V::decode(dec)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_bytes::<u8>(&to_bytes(&7u8)).unwrap(), 7u8);
+        assert_eq!(from_bytes::<u32>(&to_bytes(&99u32)).unwrap(), 99u32);
+        assert_eq!(
+            from_bytes::<u64>(&to_bytes(&u64::MAX)).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(
+            from_bytes::<i64>(&to_bytes(&(-42i64))).unwrap(),
+            -42i64
+        );
+        assert!(from_bytes::<bool>(&to_bytes(&true)).unwrap());
+        assert_eq!(
+            from_bytes::<String>(&to_bytes(&"héllo".to_string())).unwrap(),
+            "héllo"
+        );
+    }
+
+    #[test]
+    fn option_round_trip() {
+        let some: Option<u64> = Some(5);
+        let none: Option<u64> = None;
+        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&some)).unwrap(), some);
+        assert_eq!(from_bytes::<Option<u64>>(&to_bytes(&none)).unwrap(), none);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(from_bytes::<Vec<u64>>(&to_bytes(&v)).unwrap(), v);
+
+        let mut set = BTreeSet::new();
+        set.insert("a".to_string());
+        set.insert("b".to_string());
+        assert_eq!(
+            from_bytes::<BTreeSet<String>>(&to_bytes(&set)).unwrap(),
+            set
+        );
+
+        let mut map = BTreeMap::new();
+        map.insert(1u32, "one".to_string());
+        map.insert(2u32, "two".to_string());
+        assert_eq!(
+            from_bytes::<BTreeMap<u32, String>>(&to_bytes(&map)).unwrap(),
+            map
+        );
+
+        let dq: VecDeque<u32> = vec![9, 8, 7].into();
+        assert_eq!(from_bytes::<VecDeque<u32>>(&to_bytes(&dq)).unwrap(), dq);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let pair = (3u64, "x".to_string());
+        assert_eq!(
+            from_bytes::<(u64, String)>(&to_bytes(&pair)).unwrap(),
+            pair
+        );
+        let triple = (1u32, 2u64, true);
+        assert_eq!(
+            from_bytes::<(u32, u64, bool)>(&to_bytes(&triple)).unwrap(),
+            triple
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = to_bytes(&12345u64);
+        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
+        assert!(err.message().contains("truncated"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = to_bytes(&1u32);
+        bytes.push(0xFF);
+        let err = from_bytes::<u32>(&bytes).unwrap_err();
+        assert!(err.message().contains("trailing"));
+    }
+
+    #[test]
+    fn invalid_bool_is_an_error() {
+        let err = from_bytes::<bool>(&[3]).unwrap_err();
+        assert!(err.message().contains("bool"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xFF, 0xFE]);
+        let err = from_bytes::<String>(&enc.into_bytes()).unwrap_err();
+        assert!(err.message().contains("UTF-8"));
+    }
+
+    #[test]
+    fn corrupted_length_prefix_does_not_overallocate() {
+        // A Vec<u64> claiming u64::MAX elements but with no payload must fail
+        // cleanly instead of trying to allocate.
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX);
+        let err = from_bytes::<Vec<u64>>(&enc.into_bytes()).unwrap_err();
+        assert!(err.message().contains("truncated"));
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        let v = vec!["abc".to_string(), "defg".to_string()];
+        assert_eq!(v.encoded_len(), to_bytes(&v).len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_round_trip(x: u64) {
+            prop_assert_eq!(from_bytes::<u64>(&to_bytes(&x)).unwrap(), x);
+        }
+
+        #[test]
+        fn prop_string_round_trip(s in ".*") {
+            let s = s.to_string();
+            prop_assert_eq!(from_bytes::<String>(&to_bytes(&s)).unwrap(), s);
+        }
+
+        #[test]
+        fn prop_vec_round_trip(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+            prop_assert_eq!(from_bytes::<Vec<u64>>(&to_bytes(&v)).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_map_round_trip(m in proptest::collection::btree_map(any::<u32>(), ".{0,8}", 0..32)) {
+            prop_assert_eq!(from_bytes::<BTreeMap<u32, String>>(&to_bytes(&m)).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_bytes_never_panic_on_arbitrary_input(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Decoding arbitrary bytes may fail but must never panic.
+            let _ = from_bytes::<Vec<String>>(&data);
+            let _ = from_bytes::<(u64, String)>(&data);
+            let _ = from_bytes::<BTreeMap<u32, u64>>(&data);
+        }
+    }
+}

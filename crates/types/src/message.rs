@@ -1,0 +1,222 @@
+//! Application messages and their globally unique identities.
+//!
+//! Section 2.2 of the paper assumes that "all messages are distinct. This can
+//! be easily ensured by adding an identity to each message, an identity being
+//! composed of a pair *(local sequence number, sender identity)*".  [`MsgId`]
+//! is exactly that pair; [`AppMessage`] couples it with an opaque payload.
+
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use crate::id::ProcessId;
+
+/// Globally unique identity of an application message.
+///
+/// The identity is the pair *(sender, local sequence number)*: each process
+/// numbers the messages it A-broadcasts with a local counter, so no two
+/// distinct messages ever share an identity, and duplicates of the same
+/// message are recognised by identity equality (used by the idempotent
+/// `Unordered`/`Agreed` operations of Section 4.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId {
+    /// The process that A-broadcast the message.
+    pub sender: ProcessId,
+    /// The sender's local sequence number for this message (starting at 0).
+    pub seq: u64,
+}
+
+impl MsgId {
+    /// Creates a message identity from its two components.
+    pub const fn new(sender: ProcessId, seq: u64) -> Self {
+        MsgId { sender, seq }
+    }
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.sender, self.seq)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.sender, self.seq)
+    }
+}
+
+impl Encode for MsgId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.sender.encode(enc);
+        enc.put_u64(self.seq);
+    }
+}
+
+impl Decode for MsgId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MsgId {
+            sender: ProcessId::decode(dec)?,
+            seq: dec.take_u64()?,
+        })
+    }
+}
+
+/// Opaque application payload carried by an [`AppMessage`].
+///
+/// The atomic broadcast layer never inspects payloads; it only moves them
+/// around and orders them.  `Payload` is a cheaply clonable byte buffer.
+pub type Payload = Bytes;
+
+/// A message submitted to `A-broadcast` and eventually A-delivered in total
+/// order by every good process.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppMessage {
+    id: MsgId,
+    payload: Payload,
+}
+
+impl AppMessage {
+    /// Creates a message with the given identity and payload.
+    pub fn new(id: MsgId, payload: impl Into<Payload>) -> Self {
+        AppMessage {
+            id,
+            payload: payload.into(),
+        }
+    }
+
+    /// Convenience constructor from the identity components.
+    pub fn from_parts(sender: ProcessId, seq: u64, payload: impl Into<Payload>) -> Self {
+        AppMessage::new(MsgId::new(sender, seq), payload)
+    }
+
+    /// The globally unique identity of this message.
+    pub fn id(&self) -> MsgId {
+        self.id
+    }
+
+    /// The process that A-broadcast this message.
+    pub fn sender(&self) -> ProcessId {
+        self.id.sender
+    }
+
+    /// The sender-local sequence number of this message.
+    pub fn seq(&self) -> u64 {
+        self.id.seq
+    }
+
+    /// The opaque application payload.
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// Total size of the message (identity plus payload) in bytes, as it
+    /// would be written to stable storage or to the wire.
+    pub fn size_bytes(&self) -> usize {
+        self.encoded_len()
+    }
+}
+
+impl fmt::Debug for AppMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppMessage")
+            .field("id", &self.id)
+            .field("payload_len", &self.payload.len())
+            .finish()
+    }
+}
+
+impl Encode for AppMessage {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.put_bytes(&self.payload);
+    }
+}
+
+impl Decode for AppMessage {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let id = MsgId::decode(dec)?;
+        let payload = Bytes::copy_from_slice(dec.take_bytes()?);
+        Ok(AppMessage { id, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    fn msg(sender: u32, seq: u64, payload: &[u8]) -> AppMessage {
+        AppMessage::from_parts(ProcessId::new(sender), seq, payload.to_vec())
+    }
+
+    #[test]
+    fn identity_is_sender_plus_sequence() {
+        let m = msg(2, 17, b"hello");
+        assert_eq!(m.sender(), ProcessId::new(2));
+        assert_eq!(m.seq(), 17);
+        assert_eq!(m.id(), MsgId::new(ProcessId::new(2), 17));
+        assert_eq!(format!("{}", m.id()), "p2#17");
+    }
+
+    #[test]
+    fn messages_with_same_id_and_payload_are_equal() {
+        assert_eq!(msg(1, 1, b"x"), msg(1, 1, b"x"));
+        assert_ne!(msg(1, 1, b"x"), msg(1, 2, b"x"));
+        assert_ne!(msg(1, 1, b"x"), msg(2, 1, b"x"));
+    }
+
+    #[test]
+    fn msg_ids_order_by_sender_then_seq() {
+        let a = MsgId::new(ProcessId::new(0), 5);
+        let b = MsgId::new(ProcessId::new(1), 0);
+        let c = MsgId::new(ProcessId::new(1), 7);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn payload_is_preserved() {
+        let m = msg(0, 0, b"payload bytes");
+        assert_eq!(m.payload().as_ref(), b"payload bytes");
+    }
+
+    #[test]
+    fn size_accounts_for_identity_and_payload() {
+        let small = msg(0, 0, b"");
+        let big = msg(0, 0, &[0u8; 100]);
+        assert!(big.size_bytes() > small.size_bytes());
+        assert_eq!(big.size_bytes() - small.size_bytes(), 100);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let m = msg(3, 42, b"some payload");
+        let back: AppMessage = from_bytes(&to_bytes(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_app_message_round_trip(sender in 0u32..16, seq: u64,
+                                       payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let m = AppMessage::from_parts(ProcessId::new(sender), seq, payload);
+            let back: AppMessage = from_bytes(&to_bytes(&m)).unwrap();
+            prop_assert_eq!(back, m);
+        }
+
+        #[test]
+        fn prop_vec_of_messages_round_trip(
+            msgs in proptest::collection::vec((0u32..8, any::<u64>(),
+                    proptest::collection::vec(any::<u8>(), 0..32)), 0..16)) {
+            let v: Vec<AppMessage> = msgs
+                .into_iter()
+                .map(|(s, q, p)| AppMessage::from_parts(ProcessId::new(s), q, p))
+                .collect();
+            let back: Vec<AppMessage> = from_bytes(&to_bytes(&v)).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+}

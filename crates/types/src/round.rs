@@ -1,0 +1,294 @@
+//! Rounds of the atomic broadcast protocol and ballots of the consensus.
+//!
+//! The atomic broadcast protocol of Section 4 "works in consecutive rounds";
+//! the `k`-th round runs the `k`-th instance of Consensus.  [`Round`] is that
+//! counter.  The consensus substrate itself is ballot-based; [`Ballot`]
+//! identifies an attempt within one consensus instance and embeds the
+//! coordinating process so that ballots of different coordinators never
+//! collide.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use crate::id::ProcessId;
+
+/// Round counter of the atomic broadcast protocol (`k_p` in the paper).
+///
+/// Round `k` is also the identity of the `k`-th Consensus instance, so
+/// `Round` doubles as [`InstanceId`].
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Round(u64);
+
+/// Identity of a consensus instance; one instance is run per broadcast round.
+pub type InstanceId = Round;
+
+impl Round {
+    /// The first round (`k = 0`).
+    pub const ZERO: Round = Round(0);
+
+    /// Creates a round from its numeric value.
+    pub const fn new(k: u64) -> Self {
+        Round(k)
+    }
+
+    /// Numeric value of the round.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The round immediately after this one.
+    pub const fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The round immediately before this one, or `None` for round 0.
+    pub const fn prev(self) -> Option<Round> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Round(self.0 - 1))
+        }
+    }
+
+    /// Number of rounds between `self` and `other` (`self - other`),
+    /// saturating at zero when `other` is ahead.
+    pub const fn distance_from(self, other: Round) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// Iterates over rounds `self, self+1, …, end-1`.
+    pub fn up_to(self, end: Round) -> impl Iterator<Item = Round> {
+        (self.0..end.0).map(Round)
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(value: u64) -> Self {
+        Round(value)
+    }
+}
+
+impl Encode for Round {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+}
+
+impl Decode for Round {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Round(dec.take_u64()?))
+    }
+}
+
+/// A ballot (attempt) within one consensus instance.
+///
+/// Ballots are totally ordered first by attempt number and then by the
+/// coordinator identity, so two coordinators can never issue equal ballots.
+/// Ballot numbering follows the classic Synod scheme: the coordinator of
+/// ballot `b` for a system of `n` processes is process `b mod n`, which the
+/// helper [`Ballot::coordinator_for`] encodes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ballot {
+    /// Attempt number, starting at 0.
+    pub number: u64,
+    /// The process coordinating this ballot.
+    pub coordinator: ProcessId,
+}
+
+impl Ballot {
+    /// Creates a ballot from its attempt number and coordinator.
+    pub const fn new(number: u64, coordinator: ProcessId) -> Self {
+        Ballot {
+            number,
+            coordinator,
+        }
+    }
+
+    /// The initial ballot, coordinated by process 0.
+    pub const fn initial() -> Self {
+        Ballot {
+            number: 0,
+            coordinator: ProcessId::new(0),
+        }
+    }
+
+    /// Returns the ballot with attempt number `number` in a system of `n`
+    /// processes, using the rotating-coordinator rule (`coordinator = number
+    /// mod n`).
+    pub fn with_rotating_coordinator(number: u64, n: usize) -> Self {
+        Ballot {
+            number,
+            coordinator: ProcessId::new((number % n as u64) as u32),
+        }
+    }
+
+    /// The coordinator a rotating-coordinator scheme assigns to attempt
+    /// `number` in a system of `n` processes.
+    pub fn coordinator_for(number: u64, n: usize) -> ProcessId {
+        ProcessId::new((number % n as u64) as u32)
+    }
+
+    /// The smallest ballot strictly greater than `self` that is coordinated
+    /// by `coordinator` under the rotating-coordinator rule for `n`
+    /// processes.
+    pub fn next_for(self, coordinator: ProcessId, n: usize) -> Ballot {
+        let n = n as u64;
+        let mut number = self.number + 1;
+        let target = coordinator.as_u32() as u64;
+        let rem = number % n;
+        if rem != target {
+            number += (target + n - rem) % n;
+        }
+        Ballot {
+            number,
+            coordinator,
+        }
+    }
+}
+
+impl fmt::Debug for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}@{}", self.number, self.coordinator)
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}@{}", self.number, self.coordinator)
+    }
+}
+
+impl Encode for Ballot {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.number);
+        self.coordinator.encode(enc);
+    }
+}
+
+impl Decode for Ballot {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Ballot {
+            number: dec.take_u64()?,
+            coordinator: ProcessId::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_arithmetic() {
+        let k = Round::new(5);
+        assert_eq!(k.value(), 5);
+        assert_eq!(k.next(), Round::new(6));
+        assert_eq!(k.prev(), Some(Round::new(4)));
+        assert_eq!(Round::ZERO.prev(), None);
+        assert_eq!(k.distance_from(Round::new(2)), 3);
+        assert_eq!(Round::new(2).distance_from(k), 0);
+    }
+
+    #[test]
+    fn round_iteration() {
+        let rounds: Vec<_> = Round::new(2).up_to(Round::new(5)).collect();
+        assert_eq!(rounds, vec![Round::new(2), Round::new(3), Round::new(4)]);
+        assert_eq!(Round::new(5).up_to(Round::new(5)).count(), 0);
+        assert_eq!(Round::new(6).up_to(Round::new(5)).count(), 0);
+    }
+
+    #[test]
+    fn round_ordering_and_display() {
+        assert!(Round::new(1) < Round::new(2));
+        assert_eq!(format!("{}", Round::new(9)), "9");
+        assert_eq!(format!("{:?}", Round::new(9)), "k9");
+    }
+
+    #[test]
+    fn round_codec_round_trip() {
+        let k = Round::new(123456);
+        assert_eq!(from_bytes::<Round>(&to_bytes(&k)).unwrap(), k);
+    }
+
+    #[test]
+    fn ballots_order_by_number_then_coordinator() {
+        let a = Ballot::new(1, ProcessId::new(2));
+        let b = Ballot::new(2, ProcessId::new(0));
+        let c = Ballot::new(2, ProcessId::new(1));
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn rotating_coordinator_assignment() {
+        assert_eq!(Ballot::coordinator_for(0, 3), ProcessId::new(0));
+        assert_eq!(Ballot::coordinator_for(1, 3), ProcessId::new(1));
+        assert_eq!(Ballot::coordinator_for(2, 3), ProcessId::new(2));
+        assert_eq!(Ballot::coordinator_for(3, 3), ProcessId::new(0));
+        let b = Ballot::with_rotating_coordinator(7, 3);
+        assert_eq!(b.coordinator, ProcessId::new(1));
+        assert_eq!(b.number, 7);
+    }
+
+    #[test]
+    fn next_for_finds_next_ballot_of_a_coordinator() {
+        let n = 3;
+        let b0 = Ballot::initial();
+        let next_p1 = b0.next_for(ProcessId::new(1), n);
+        assert_eq!(next_p1.number, 1);
+        assert_eq!(next_p1.coordinator, ProcessId::new(1));
+
+        let next_p0 = b0.next_for(ProcessId::new(0), n);
+        assert_eq!(next_p0.number, 3);
+        assert_eq!(next_p0.coordinator, ProcessId::new(0));
+
+        let from7 = Ballot::with_rotating_coordinator(7, n).next_for(ProcessId::new(1), n);
+        assert_eq!(from7.number, 10);
+        assert_eq!(from7.coordinator, ProcessId::new(1));
+    }
+
+    #[test]
+    fn ballot_codec_round_trip() {
+        let b = Ballot::new(99, ProcessId::new(4));
+        assert_eq!(from_bytes::<Ballot>(&to_bytes(&b)).unwrap(), b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_next_for_is_strictly_greater_and_correctly_assigned(
+            number in 0u64..1_000_000, coord in 0u32..7, n in 1usize..8) {
+            prop_assume!((coord as usize) < n);
+            let b = Ballot::with_rotating_coordinator(number, n);
+            let next = b.next_for(ProcessId::new(coord), n);
+            prop_assert!(next > b);
+            prop_assert_eq!(next.coordinator, ProcessId::new(coord));
+            prop_assert_eq!(Ballot::coordinator_for(next.number, n), ProcessId::new(coord));
+            // It must be the *smallest* such ballot.
+            prop_assert!(next.number - b.number <= n as u64);
+        }
+
+        #[test]
+        fn prop_round_codec(k: u64) {
+            let r = Round::new(k);
+            prop_assert_eq!(from_bytes::<Round>(&to_bytes(&r)).unwrap(), r);
+        }
+    }
+}

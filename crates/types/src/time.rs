@@ -1,0 +1,277 @@
+//! Time representation shared by the simulator and the thread runtime.
+//!
+//! The paper's model is asynchronous — protocol *correctness* never depends
+//! on time — but implementations still need timers (gossip period, consensus
+//! retransmission, failure-detector timeouts).  [`SimTime`] is a monotone
+//! instant measured in microseconds since the start of a run; in the
+//! discrete-event simulator it is virtual, in the thread runtime it is
+//! derived from a monotonic clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// A duration in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// This duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This duration expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Multiplies the duration by an integer factor, saturating on overflow.
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// `true` when this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+            write!(f, "{}s", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<std::time::Duration> for SimDuration {
+    fn from(d: std::time::Duration) -> Self {
+        SimDuration(d.as_micros() as u64)
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        std::time::Duration::from_micros(d.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Encode for SimDuration {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+}
+
+impl Decode for SimDuration {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SimDuration(dec.take_u64()?))
+    }
+}
+
+/// A monotone instant, measured in microseconds since the start of the run.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from microseconds since the start of the run.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since the start of the run.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) seconds since the start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`; zero if `earlier` is in the future.
+    pub const fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns this instant advanced by `d`.
+    pub const fn plus(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.as_micros())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}µs", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        self.plus(rhs)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_micros();
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Encode for SimTime {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.0);
+    }
+}
+
+impl Decode for SimTime {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(SimTime(dec.take_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+        assert_eq!(
+            SimDuration::from_millis(3),
+            SimDuration::from_micros(3_000)
+        );
+        assert_eq!(SimDuration::from_secs(1).as_millis(), 1_000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!(a + b, SimDuration::from_millis(14));
+        assert_eq!(a - b, SimDuration::from_millis(6));
+        assert_eq!(b - a, SimDuration::ZERO);
+        assert_eq!(a.saturating_mul(3), SimDuration::from_millis(30));
+        assert!(SimDuration::ZERO.is_zero());
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimDuration::from_millis(14));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_millis(7);
+        assert_eq!(t1.as_micros(), 7_000);
+        assert_eq!(t1 - t0, SimDuration::from_millis(7));
+        assert_eq!(t0 - t1, SimDuration::ZERO);
+        assert_eq!(t1.duration_since(t0).as_millis(), 7);
+        let mut t2 = t1;
+        t2 += SimDuration::from_millis(3);
+        assert_eq!(t2.as_micros(), 10_000);
+    }
+
+    #[test]
+    fn std_duration_conversion() {
+        let d = SimDuration::from_millis(250);
+        let std: std::time::Duration = d.into();
+        assert_eq!(std.as_millis(), 250);
+        let back: SimDuration = std.into();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn debug_formatting_picks_natural_unit() {
+        assert_eq!(format!("{:?}", SimDuration::from_secs(3)), "3s");
+        assert_eq!(format!("{:?}", SimDuration::from_millis(20)), "20ms");
+        assert_eq!(format!("{:?}", SimDuration::from_micros(7)), "7µs");
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        use crate::codec::{from_bytes, to_bytes};
+        let d = SimDuration::from_micros(123_456);
+        let t = SimTime::from_micros(987_654);
+        assert_eq!(from_bytes::<SimDuration>(&to_bytes(&d)).unwrap(), d);
+        assert_eq!(from_bytes::<SimTime>(&to_bytes(&t)).unwrap(), t);
+    }
+}

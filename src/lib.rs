@@ -1,0 +1,8 @@
+//! Workspace root package.
+//!
+//! This package only hosts the runnable examples (`examples/`) and the
+//! workspace-level integration tests (`tests/`); the library code lives in
+//! the crates under `crates/`, re-exported by the
+//! [`crash_recovery_abcast`] facade.
+
+pub use crash_recovery_abcast::*;

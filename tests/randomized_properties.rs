@@ -1,0 +1,145 @@
+//! Randomized end-to-end property testing: proptest generates small
+//! workloads, link conditions and fault schedules, and every generated run
+//! must satisfy the four Atomic Broadcast properties of Section 2.2.
+//!
+//! The number of cases is kept small because each case simulates a whole
+//! cluster; the per-case seeds are derived from the proptest input, so any
+//! failure is reproducible from the printed counterexample alone.
+
+use proptest::prelude::*;
+
+use crash_recovery_abcast::core::{Cluster, ClusterConfig};
+use crash_recovery_abcast::sim::FaultPlan;
+use crash_recovery_abcast::{LinkConfig, ProcessId, ProtocolConfig, SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    processes: usize,
+    seed: u64,
+    loss: f64,
+    duplication: f64,
+    messages: usize,
+    alternative: bool,
+    crash_victim: Option<u32>,
+    crash_at_ms: u64,
+    down_for_ms: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        3usize..=5,
+        any::<u64>(),
+        0.0f64..0.3,
+        0.0f64..0.05,
+        4usize..=14,
+        any::<bool>(),
+        proptest::option::of(0u32..5),
+        5u64..200,
+        20u64..400,
+    )
+        .prop_map(
+            |(processes, seed, loss, duplication, messages, alternative, victim, crash_at_ms, down_for_ms)| {
+                Scenario {
+                    processes,
+                    seed,
+                    loss,
+                    duplication,
+                    messages,
+                    alternative,
+                    crash_victim: victim.map(|v| v % processes as u32),
+                    crash_at_ms,
+                    down_for_ms,
+                }
+            },
+        )
+}
+
+fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
+    let link = LinkConfig::lan()
+        .with_loss(s.loss)
+        .with_duplication(s.duplication)
+        .with_delay(SimDuration::from_micros(100), SimDuration::from_millis(5));
+    let protocol = if s.alternative {
+        ProtocolConfig::alternative()
+    } else {
+        ProtocolConfig::basic()
+    };
+    let mut cluster = Cluster::new(
+        ClusterConfig::basic(s.processes)
+            .with_seed(s.seed)
+            .with_link(link)
+            .with_protocol(protocol),
+    );
+
+    // Optional crash/recovery of one process; it recovers, so it is good
+    // and must deliver everything in the end.
+    if let Some(victim) = s.crash_victim {
+        let plan = FaultPlan::none().crash_for(
+            ProcessId::new(victim),
+            SimTime::from_micros(s.crash_at_ms * 1000),
+            SimDuration::from_millis(s.down_for_ms),
+        );
+        cluster.apply_faults(&plan);
+    }
+
+    // Submissions come only from process 0 and 1 when a victim is chosen
+    // among the others, so that every submitted message has a good sender.
+    let mut ids = Vec::new();
+    for i in 0..s.messages {
+        let sender = match s.crash_victim {
+            Some(v) => {
+                let candidates: Vec<u32> = (0..s.processes as u32).filter(|q| *q != v).collect();
+                candidates[i % candidates.len()]
+            }
+            None => (i % s.processes) as u32,
+        };
+        let sender = ProcessId::new(sender);
+        if cluster.sim().is_up(sender) {
+            if let Some(id) = cluster.broadcast(sender, vec![i as u8; 8]) {
+                ids.push(id);
+            }
+        }
+        cluster.run_for(SimDuration::from_millis(10));
+    }
+
+    let everyone: Vec<ProcessId> = cluster.processes().iter().collect();
+    let delivered = cluster.run_until_delivered(
+        &everyone,
+        &ids,
+        cluster.now() + SimDuration::from_secs(300),
+    );
+    prop_assert!(delivered, "liveness lost in {s:?}");
+
+    let must: std::collections::BTreeSet<_> = ids.iter().copied().collect();
+    let violations = cluster.check_properties(&everyone, &must);
+    prop_assert!(violations.is_empty(), "violations {violations:?} in {s:?}");
+
+    // All explicit sequences must additionally be equal once quiesced (a
+    // stronger statement than pairwise prefixes).
+    let reference = cluster.delivered(ProcessId::new(0));
+    for q in cluster.processes().iter() {
+        let seq = cluster.delivered(q);
+        let shorter = reference.len().min(seq.len());
+        prop_assert_eq!(
+            &reference[reference.len() - shorter..],
+            &seq[seq.len() - shorter..],
+            "suffixes diverge at {} in {:?}",
+            q,
+            s
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 20,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn randomized_scenarios_satisfy_the_broadcast_properties(s in scenario_strategy()) {
+        run_scenario(&s)?;
+    }
+}

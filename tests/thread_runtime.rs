@@ -1,0 +1,111 @@
+//! Workspace integration tests: the same protocol actors running on the
+//! thread-based runtime (real time, crossbeam channels) instead of the
+//! deterministic simulator.
+
+use std::time::Duration;
+
+use crash_recovery_abcast::net::RuntimeConfig;
+use crash_recovery_abcast::replication::state_machine::StateMachine;
+use crash_recovery_abcast::{
+    AtomicBroadcast, ConsensusConfig, KvCommand, KvStore, LinkConfig, ProcessId, ProtocolConfig,
+    Replica, StorageRegistry, ThreadRuntime,
+};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn live_cluster_orders_client_requests_identically() {
+    let n = 3;
+    let runtime: ThreadRuntime<AtomicBroadcast> = ThreadRuntime::start(
+        n,
+        StorageRegistry::in_memory(n),
+        RuntimeConfig::default(),
+        |_p, _s| AtomicBroadcast::new(ProtocolConfig::alternative(), ConsensusConfig::crash_recovery()),
+    );
+
+    for i in 0..6u8 {
+        runtime.client_request(p(u32::from(i) % 3), vec![i; 4]);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Wait until every process has delivered six messages.
+    for q in 0..3u32 {
+        let delivered = runtime.wait_for(p(q), Duration::from_secs(30), |a| {
+            (a.agreed().total_delivered() >= 6).then(|| {
+                a.delivered_messages()
+                    .iter()
+                    .map(|m| m.id())
+                    .collect::<Vec<_>>()
+            })
+        });
+        assert!(delivered.is_some(), "p{q} did not deliver in time");
+    }
+
+    // And the orders are identical.
+    let order0 = runtime
+        .inspect(p(0), |a| a.delivered_messages().iter().map(|m| m.id()).collect::<Vec<_>>())
+        .unwrap();
+    for q in 1..3u32 {
+        let order = runtime
+            .inspect(p(q), |a| {
+                a.delivered_messages().iter().map(|m| m.id()).collect::<Vec<_>>()
+            })
+            .unwrap();
+        let shorter = order0.len().min(order.len());
+        assert_eq!(&order0[..shorter], &order[..shorter], "p{q} ordered differently");
+    }
+    runtime.shutdown();
+}
+
+#[test]
+fn live_replica_recovers_after_crash_with_lossy_links() {
+    let n = 3;
+    let config = RuntimeConfig {
+        link: LinkConfig::reliable().with_loss(0.02),
+        seed: 99,
+    };
+    let runtime: ThreadRuntime<Replica<KvStore>> = ThreadRuntime::start(
+        n,
+        StorageRegistry::in_memory(n),
+        config,
+        |_p, _s| {
+            Replica::new(ProtocolConfig::alternative(), ConsensusConfig::crash_recovery())
+        },
+    );
+
+    for i in 0..5u32 {
+        runtime.client_request(
+            p(0),
+            KvStore::encode_command(&KvCommand::put(format!("k{i}"), format!("v{i}"))),
+        );
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    assert!(
+        runtime
+            .wait_for(p(2), Duration::from_secs(30), |r| (r.state().len() >= 5).then_some(()))
+            .is_some(),
+        "p2 must apply the initial writes"
+    );
+
+    // Crash p2, write more, recover it, and require convergence.
+    runtime.crash(p(2));
+    for i in 5..10u32 {
+        runtime.client_request(
+            p(1),
+            KvStore::encode_command(&KvCommand::put(format!("k{i}"), format!("v{i}"))),
+        );
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    runtime.recover(p(2));
+
+    let caught_up = runtime.wait_for(p(2), Duration::from_secs(60), |r| {
+        (r.state().len() >= 10).then(|| r.state().clone())
+    });
+    let state = caught_up.expect("recovered replica must catch up");
+    for i in 0..10u32 {
+        assert_eq!(state.get(&format!("k{i}")), Some(format!("v{i}").as_str()));
+    }
+    runtime.shutdown();
+}

@@ -1,0 +1,181 @@
+//! Workspace integration tests: the four properties of Section 2.2
+//! (Validity, Integrity, Total Order, Termination) end to end, across
+//! protocol variants, seeds, link conditions and fault schedules.
+
+use crash_recovery_abcast::core::{ClusterConfig, Cluster};
+use crash_recovery_abcast::sim::FaultPlan;
+use crash_recovery_abcast::{LinkConfig, ProcessId, SimDuration, SimTime};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Runs a mixed broadcast load and returns the cluster once every message
+/// has been delivered everywhere.
+fn run_mixed_load(mut cluster: Cluster, messages: usize) -> Cluster {
+    let mut ids = Vec::new();
+    let n = cluster.processes().len();
+    for i in 0..messages {
+        let sender = p((i % n) as u32);
+        if cluster.sim().is_up(sender) {
+            if let Some(id) = cluster.broadcast(sender, format!("m{i}").into_bytes()) {
+                ids.push(id);
+            }
+        }
+        cluster.run_for(SimDuration::from_millis(5));
+    }
+    let everyone: Vec<ProcessId> = cluster.processes().iter().collect();
+    let ok = cluster.run_until_delivered(
+        &everyone,
+        &ids,
+        cluster.now() + SimDuration::from_secs(300),
+    );
+    assert!(ok, "load of {messages} messages was not delivered in time");
+    cluster
+}
+
+#[test]
+fn basic_protocol_satisfies_all_properties_over_many_seeds() {
+    for seed in 0..5u64 {
+        let cluster = run_mixed_load(
+            Cluster::new(ClusterConfig::basic(3).with_seed(seed)),
+            15,
+        );
+        cluster.assert_properties();
+    }
+}
+
+#[test]
+fn alternative_protocol_satisfies_all_properties_over_many_seeds() {
+    for seed in 0..5u64 {
+        let cluster = run_mixed_load(
+            Cluster::new(ClusterConfig::alternative(3).with_seed(seed)),
+            15,
+        );
+        cluster.assert_properties();
+    }
+}
+
+#[test]
+fn five_processes_with_heavy_loss_still_agree() {
+    let link = LinkConfig::lan()
+        .with_loss(0.3)
+        .with_duplication(0.05)
+        .with_delay(SimDuration::from_micros(100), SimDuration::from_millis(8));
+    let cluster = run_mixed_load(
+        Cluster::new(ClusterConfig::alternative(5).with_seed(3).with_link(link)),
+        20,
+    );
+    cluster.assert_properties();
+    // Loss forces retransmissions: the transport must have dropped plenty
+    // without breaking anything.
+    assert!(cluster.sim().network_metrics().snapshot().dropped > 0);
+}
+
+#[test]
+fn delivery_sequences_are_identical_not_just_prefix_related_after_quiescence() {
+    let cluster = run_mixed_load(Cluster::new(ClusterConfig::basic(4).with_seed(9)), 24);
+    let reference = cluster.delivered(p(0));
+    assert_eq!(reference.len(), 24);
+    for q in cluster.processes().iter() {
+        assert_eq!(cluster.delivered(q), reference, "{q} differs from p0");
+    }
+}
+
+#[test]
+fn properties_hold_under_crash_recovery_churn() {
+    for seed in [1u64, 7, 13] {
+        let mut cluster = Cluster::new(ClusterConfig::alternative(5).with_seed(seed));
+        let plan = FaultPlan::none().random_churn(
+            [p(2), p(3), p(4)],
+            seed,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(200),
+            SimTime::from_micros(2_000_000),
+        );
+        cluster.apply_faults(&plan);
+
+        // Only the two stable processes broadcast, so every submitted
+        // message must eventually be delivered by every good process.
+        let mut ids = Vec::new();
+        for i in 0..30 {
+            if let Some(id) = cluster.broadcast(p(i % 2), format!("c{i}").into_bytes()) {
+                ids.push(id);
+            }
+            cluster.run_for(SimDuration::from_millis(15));
+        }
+        let everyone: Vec<ProcessId> = cluster.processes().iter().collect();
+        let ok = cluster.run_until_delivered(
+            &everyone,
+            &ids,
+            cluster.now() + SimDuration::from_secs(300),
+        );
+        assert!(ok, "seed {seed}: churned cluster failed to deliver");
+        cluster.assert_properties();
+        assert!(
+            cluster.stats().crashes > 0,
+            "seed {seed}: the schedule must actually crash something"
+        );
+    }
+}
+
+#[test]
+fn messages_submitted_at_a_crashing_process_are_either_everywhere_or_nowhere() {
+    // "Uniformity" of broadcast: a message submitted right before a crash
+    // may or may not be delivered, but it must never be delivered at some
+    // processes and not others once the system quiesces.
+    let mut cluster = Cluster::new(ClusterConfig::alternative(3).with_seed(21));
+    let doomed = p(2);
+    let id = cluster
+        .broadcast(doomed, b"maybe-lost".to_vec())
+        .expect("process is up");
+    // Crash immediately, before the message can be ordered.
+    cluster.sim_mut().crash_now(doomed);
+    cluster.run_for(SimDuration::from_secs(2));
+    cluster.sim_mut().recover_now(doomed);
+    cluster.run_for(SimDuration::from_secs(5));
+
+    let delivered_at: Vec<bool> = cluster
+        .processes()
+        .iter()
+        .map(|q| {
+            cluster
+                .sim()
+                .actor(q)
+                .map(|a| a.is_delivered(id))
+                .unwrap_or(false)
+        })
+        .collect();
+    let all = delivered_at.iter().all(|b| *b);
+    let none = delivered_at.iter().all(|b| !*b);
+    assert!(
+        all || none,
+        "message delivered at some processes only: {delivered_at:?}"
+    );
+    cluster.assert_properties();
+}
+
+#[test]
+fn runs_are_reproducible_for_equal_seeds_and_differ_across_seeds() {
+    let run = |seed: u64| {
+        let cluster = run_mixed_load(
+            Cluster::new(ClusterConfig::basic(3).with_seed(seed).with_link(LinkConfig::lan())),
+            12,
+        );
+        (
+            cluster.delivered(p(0)),
+            cluster.stats(),
+            cluster.storage_totals(),
+        )
+    };
+    assert_eq!(run(5), run(5), "same seed must give identical runs");
+    let (a, ..) = run(5);
+    let (b, ..) = run(6);
+    // Different seeds may produce a different interleaving (payloads are the
+    // same, so compare the identity order).
+    let order_a: Vec<_> = a.iter().map(|m| m.id()).collect();
+    let order_b: Vec<_> = b.iter().map(|m| m.id()).collect();
+    assert_eq!(order_a.len(), order_b.len());
+}
