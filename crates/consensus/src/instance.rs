@@ -162,7 +162,7 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
         match msg {
             InstanceMsg::Prepare { ballot } => {
                 self.observe_ballot(ballot);
-                if self.promised.map_or(true, |p| ballot >= p) {
+                if self.promised.is_none_or(|p| ballot >= p) {
                     self.promised = Some(ballot);
                     self.persist_acceptor(ctx);
                     ctx.send(
@@ -180,7 +180,7 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
             }
             InstanceMsg::AcceptRequest { ballot, value } => {
                 self.observe_ballot(ballot);
-                if self.promised.map_or(true, |p| ballot >= p) {
+                if self.promised.is_none_or(|p| ballot >= p) {
                     self.promised = Some(ballot);
                     self.accepted = Some((ballot, value));
                     self.persist_acceptor(ctx);

@@ -75,13 +75,13 @@ impl<V: ConsensusValue> MultiConsensus<V> {
             if let Ok(stored_keys) = ctx.storage().keys() {
                 for key in stored_keys {
                     if let Some(instance) = keys::parse_consensus_instance(&key) {
-                        if !self.instances.contains_key(&instance) {
+                        if let std::collections::btree_map::Entry::Vacant(e) = self.instances.entry(instance) {
                             if let Ok(recovered) = ConsensusInstance::recover(
                                 instance,
                                 true,
                                 ctx.storage(),
                             ) {
-                                self.instances.insert(instance, recovered);
+                                e.insert(recovered);
                             }
                         }
                     }

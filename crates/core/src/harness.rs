@@ -332,7 +332,7 @@ mod tests {
         // Rounds were actually used to order (at least one, at most one per
         // message).
         let rounds = cluster.sim().actor(p(0)).unwrap().metrics().rounds_completed;
-        assert!(rounds >= 1 && rounds <= 12 + 2, "rounds = {rounds}");
+        assert!((1..=12 + 2).contains(&rounds), "rounds = {rounds}");
     }
 
     #[test]

@@ -183,7 +183,7 @@ impl HeartbeatFd {
             // The suspicion was premature: trust again and be more patient
             // with this process in the future.
             entry.suspected = false;
-            entry.timeout = entry.timeout + increment;
+            entry.timeout += increment;
         }
     }
 

@@ -118,7 +118,7 @@ impl SuspectListFd {
         if entry.suspected {
             entry.suspected = false;
             entry.wrong_suspicions += 1;
-            entry.timeout = entry.timeout + increment;
+            entry.timeout += increment;
         }
     }
 

@@ -23,6 +23,8 @@ use crate::actor::{Actor, ActorContext, TimerId};
 use crate::link::LinkConfig;
 use crate::metrics::NetworkMetrics;
 
+type Channel<A> = (Sender<Input<A>>, Receiver<Input<A>>);
+
 enum Input<A: Actor> {
     Message {
         from: ProcessId,
@@ -85,8 +87,7 @@ impl<A: Actor> ThreadRuntime<A> {
         let processes = ProcessSet::new(n);
         let metrics = NetworkMetrics::new();
 
-        let channels: Vec<(Sender<Input<A>>, Receiver<Input<A>>)> =
-            (0..n).map(|_| unbounded()).collect();
+        let channels: Vec<Channel<A>> = (0..n).map(|_| unbounded()).collect();
         let senders: Vec<Sender<Input<A>>> =
             channels.iter().map(|(s, _)| s.clone()).collect();
 
@@ -426,7 +427,7 @@ mod tests {
         }
 
         fn on_message(&mut self, _from: ProcessId, msg: u64, _ctx: &mut dyn ActorContext<u64>) {
-            self.received += msg.min(1) + 0 * msg;
+            self.received += msg.min(1);
         }
 
         fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<u64>) {

@@ -64,7 +64,7 @@ impl<M> ScriptedContext<M> {
 
     /// Advances the virtual clock by `delta`.
     pub fn advance(&mut self, delta: SimDuration) {
-        self.now = self.now + delta;
+        self.now += delta;
     }
 
     /// Sets the virtual clock to `now`.

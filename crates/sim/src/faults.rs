@@ -127,7 +127,7 @@ impl FaultPlan {
                 let up = SimDuration::from_micros(
                     rng.gen_range(min_up.as_micros()..=max_up.as_micros()),
                 );
-                t = t + up;
+                t += up;
                 if t >= horizon {
                     break;
                 }
@@ -135,7 +135,7 @@ impl FaultPlan {
                 let down = SimDuration::from_micros(
                     rng.gen_range(min_down.as_micros()..=max_down.as_micros()),
                 );
-                t = t + down;
+                t += down;
                 if t >= horizon {
                     // Recover at the horizon so the process ends up good.
                     self.events.push((p, FaultEvent::Recover(horizon)));

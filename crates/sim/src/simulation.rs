@@ -221,9 +221,7 @@ impl<A: Actor> Simulation<A> {
         p: ProcessId,
         f: impl FnOnce(&mut A, &mut dyn ActorContext<A::Msg>) -> R,
     ) -> Option<R> {
-        if self.slots[p.index()].actor.is_none() {
-            return None;
-        }
+        self.slots[p.index()].actor.as_ref()?;
         let mut result = None;
         self.with_actor(p, |actor, ctx| {
             result = Some(f(actor, ctx));

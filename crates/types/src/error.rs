@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_to_storage() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk gone");
+        let io = std::io::Error::other("disk gone");
         let err: AbcastError = io.into();
         assert!(matches!(err, AbcastError::Storage(msg) if msg.contains("disk gone")));
     }

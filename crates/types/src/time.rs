@@ -67,9 +67,9 @@ impl SimDuration {
 
 impl fmt::Debug for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000_000 && self.0 % 1_000_000 == 0 {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
             write!(f, "{}s", self.0 / 1_000_000)
-        } else if self.0 >= 1_000 && self.0 % 1_000 == 0 {
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
             write!(f, "{}ms", self.0 / 1_000)
         } else {
             write!(f, "{}µs", self.0)

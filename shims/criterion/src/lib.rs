@@ -1,0 +1,329 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `black_box`) so that `cargo bench` compiles and runs everywhere. Instead
+//! of criterion's statistical machinery it times a fixed warm-up plus a
+//! measured batch and prints mean wall-clock per iteration — adequate for
+//! smoke-running experiments; swap in the real crate for publishable
+//! numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement knobs shared by [`Criterion`] and [`BenchmarkGroup`].
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+}
+
+/// Entry point handed to bench functions.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Benchmarks `f` directly under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings.clone();
+        run_one("criterion", &id.to_string(), &settings, &mut f);
+        self
+    }
+
+    /// Sets the target sample size (builder style, as on the real crate).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; no-op in this shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group: function name + parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: function_name.into(), parameter: parameter.to_string() }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.name, self.parameter)
+        }
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Declares the per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), &self.settings, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.to_string(), &self.settings, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Controls how `iter_batched` amortizes setup cost; this shim always runs
+/// setup per iteration, so the variants only differ in the real crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing harness passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+
+    /// Like `iter_batched`, taking the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, settings: &Settings, f: &mut F) {
+    // Warm-up: repeat single passes until warm_up_time has elapsed (at
+    // least once), using the last pass to calibrate per-iteration cost.
+    let warm_up_start = Instant::now();
+    let mut per_iter;
+    loop {
+        let mut warm = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let calibration_start = Instant::now();
+        f(&mut warm);
+        per_iter = calibration_start.elapsed().max(Duration::from_nanos(1));
+        if warm_up_start.elapsed() >= settings.warm_up_time {
+            break;
+        }
+    }
+
+    // Pick an iteration count that roughly fills measurement_time, capped by
+    // sample_size to keep slow cluster simulations bounded.
+    let budget = settings.measurement_time.as_nanos().max(1);
+    let iters = (budget / per_iter.as_nanos().max(1))
+        .clamp(1, settings.sample_size as u128) as u64;
+
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let total = bencher.elapsed.max(Duration::from_nanos(1));
+    let mean = total / bencher.iters.max(1) as u32;
+
+    let throughput = match settings.throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 * bencher.iters as f64 / total.as_secs_f64();
+            format!("  thrpt: {per_sec:.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 * bencher.iters as f64 / total.as_secs_f64();
+            format!("  thrpt: {:.1} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{group}/{id}  time: {mean:?} ({} iters){throughput}", bencher.iters);
+}
+
+/// Bundles bench functions into one runnable group, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("top-level", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `crossbeam-channel`, layered over `std::sync::mpsc`.
+//!
+//! The thread runtime only needs multi-producer/single-consumer channels with
+//! `send`, `recv`, `recv_timeout` and clonable senders, which std provides
+//! directly. Bounded and unbounded senders are folded into one [`Sender`]
+//! type (as in the real crate) via an internal enum.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+/// Error returned by [`Sender::send`] when the receiver has disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+enum Inner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Inner<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Inner::Unbounded(s) => Inner::Unbounded(s.clone()),
+            Inner::Bounded(s) => Inner::Bounded(s.clone()),
+        }
+    }
+}
+
+/// Sending half of a channel. Clonable; all clones feed one receiver.
+pub struct Sender<T> {
+    inner: Inner<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `msg`, blocking if the channel is bounded and full.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.inner {
+            Inner::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            Inner::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+        }
+    }
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Blocks for at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    /// Iterator over received messages, ending on disconnect.
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+/// Creates a channel of unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: Inner::Unbounded(tx) }, Receiver { inner: rx })
+}
+
+/// Creates a channel holding at most `cap` in-flight messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender { inner: Inner::Bounded(tx) }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn timeout_and_disconnect() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

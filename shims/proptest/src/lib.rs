@@ -1,0 +1,907 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses as a small
+//! deterministic random-input test harness:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer/float
+//!   ranges, `&str` regex-lite patterns (`.{a,b}`), tuples up to arity 10,
+//!   [`arbitrary::any`], and the [`collection`]/[`option`] combinators;
+//! * the [`proptest!`] macro, which runs each property for a configurable
+//!   number of cases with a seed derived **deterministically from the test
+//!   name** — CI runs are reproducible by construction, and the failure
+//!   message prints the case's seed and generated inputs;
+//! * [`prop_assert!`]-family macros returning
+//!   [`test_runner::TestCaseError`] (so they work inside helper functions
+//!   returning `Result<(), TestCaseError>`), and [`prop_assume!`] which
+//!   rejects the case;
+//! * [`test_runner::ProptestConfig`] with the `cases` /
+//!   `max_shrink_iters` fields, plus three environment overrides:
+//!   `PROPTEST_CASES` replaces the per-property case count (CI pins it low
+//!   to bound suite time, stress runs raise it), `PROPTEST_SEED` perturbs
+//!   the deterministic seed for exploratory local runs, and
+//!   `PROPTEST_REPLAY_STATE` (printed by every failure) re-runs exactly
+//!   the failing case.
+//!
+//! Differences from real proptest: no shrinking (`max_shrink_iters` is
+//! accepted and ignored), and failures report the generated inputs rather
+//! than a minimized counterexample.
+
+pub mod test_runner {
+    /// Error produced by a failing or rejected test case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The generated inputs did not satisfy a `prop_assume!` guard.
+        Reject,
+        /// The property failed, with an explanation.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject => write!(f, "input rejected by prop_assume!"),
+                TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            }
+        }
+    }
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property; the `PROPTEST_CASES`
+        /// environment variable, when set, replaces this entirely.
+        pub cases: u32,
+        /// Accepted for API compatibility; this shim does not shrink.
+        pub max_shrink_iters: u32,
+        /// Maximum number of `prop_assume!` rejections tolerated before the
+        /// property is considered vacuous and fails.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                // Smaller than real proptest's 256: several properties here
+                // simulate a whole cluster per case. PROPTEST_CASES replaces
+                // this in either direction (CI lowers it, stress raises it).
+                cases: 48,
+                max_shrink_iters: 0,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Effective case count: the `PROPTEST_CASES` environment variable
+        /// when it parses as a positive integer (CI sets it low to bound
+        /// suite time; stress runs set it high), otherwise `cases`.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n > 0 => n,
+                _ => self.cases,
+            }
+        }
+    }
+
+    pub(crate) fn parse_u64(v: &str) -> Option<u64> {
+        match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => v.parse::<u64>().ok(),
+        }
+    }
+
+    /// Deterministic RNG driving input generation (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator for a named property: a hash of the test
+        /// name, optionally XOR-ed with `PROPTEST_SEED` for exploration.
+        /// `PROPTEST_REPLAY_STATE` (as printed by a failing run, `0x`-hex
+        /// or decimal) overrides everything and restores that exact state,
+        /// so the failing case becomes the first case executed.
+        pub fn for_test(name: &str) -> Self {
+            if let Some(state) = std::env::var("PROPTEST_REPLAY_STATE")
+                .ok()
+                .and_then(|v| parse_u64(&v))
+            {
+                return TestRng { state };
+            }
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            if let Some(extra) = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| parse_u64(&v))
+            {
+                seed ^= extra;
+            }
+            TestRng { state: seed }
+        }
+
+        /// Seeds the generator directly (used to replay one case).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Current state; printed on failure so a case can be replayed via
+        /// `PROPTEST_REPLAY_STATE`.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform size drawn from a `usize` range.
+        pub fn size_in(&mut self, range: &std::ops::Range<usize>) -> usize {
+            assert!(range.start < range.end, "empty size range");
+            range.start + self.below((range.end - range.start) as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`, retrying generation.
+        fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, pred }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: std::rc::Rc::new(self) }
+        }
+    }
+
+    // A strategy behind a shared reference is still a strategy (lets `&str`
+    // literals and borrowed strategies be passed by value).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1024 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1024 candidates in a row");
+        }
+    }
+
+    /// Type-erased strategy (cheap clones via `Rc`).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (start as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// `&str` patterns act as regex-lite string strategies. Supported
+    /// forms: `.` (any char — including multi-byte UTF-8, as in real
+    /// proptest), `[c1-c2]` (ASCII range), each optionally quantified with
+    /// `{a,b}`, `*` (0..=64) or `+` (1..=64). Anything malformed (unclosed
+    /// `[`, `a > b`, descending class, …) falls back to printable ASCII of
+    /// length `0..=8`.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi, class) = parse_pattern(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| class.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    enum CharClass {
+        /// An inclusive ASCII range.
+        Range(char, char),
+        /// Any Unicode scalar value, biased toward printable ASCII so
+        /// failure output stays readable.
+        Any,
+    }
+
+    impl CharClass {
+        fn generate(self, rng: &mut TestRng) -> char {
+            match self {
+                CharClass::Range(lo, hi) => {
+                    let span = hi as u64 - lo as u64 + 1;
+                    char::from_u32(lo as u32 + rng.below(span) as u32).unwrap()
+                }
+                CharClass::Any => match rng.below(8) {
+                    // Basic-multilingual-plane, below the surrogate gap.
+                    0 => char::from_u32(0x80 + rng.below(0xD800 - 0x80) as u32).unwrap(),
+                    // Astral plane (exercises 4-byte UTF-8).
+                    1 => char::from_u32(0x1_0000 + rng.below(0x11_0000 - 0x1_0000) as u32)
+                        .unwrap(),
+                    _ => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap(),
+                },
+            }
+        }
+    }
+
+    const PATTERN_FALLBACK: (usize, usize, CharClass) = (0, 8, CharClass::Range('!', '~'));
+
+    fn parse_pattern(pat: &str) -> (usize, usize, CharClass) {
+        let (class, rest) = if let Some(rest) = pat.strip_prefix('.') {
+            (CharClass::Any, rest)
+        } else if let Some(inner) = pat.strip_prefix('[') {
+            let Some(close) = inner.find(']') else {
+                return PATTERN_FALLBACK;
+            };
+            let chars: Vec<char> = inner[..close].chars().collect();
+            match chars.as_slice() {
+                &[lo, '-', hi] if lo <= hi && lo.is_ascii() && hi.is_ascii() => {
+                    (CharClass::Range(lo, hi), &inner[close + 1..])
+                }
+                _ => return PATTERN_FALLBACK,
+            }
+        } else {
+            return PATTERN_FALLBACK;
+        };
+        let (lo, hi) = match rest {
+            "" => (1, 1),
+            "*" => (0, 64),
+            "+" => (1, 64),
+            _ => match rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .and_then(|body| {
+                    let (a, b) = body.split_once(',')?;
+                    Some((a.trim().parse::<usize>().ok()?, b.trim().parse::<usize>().ok()?))
+                }) {
+                Some((lo, hi)) if lo <= hi => (lo, hi),
+                _ => return PATTERN_FALLBACK,
+            },
+        };
+        (lo, hi, class)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy, via [`any`].
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps failure output readable.
+            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.size_in(&self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.size_in(&self.size);
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+
+    /// `proptest::collection::btree_map`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.size_in(&self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<T>`: `None` about a quarter of the time.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// so it also works in helpers returning `Result<(), TestCaseError>`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; rejected cases are retried
+/// with fresh inputs and do not count toward the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// item becomes a test running `body` over deterministic random inputs.
+/// `arg: Type` is accepted as shorthand for `arg in any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one comma-separated list of
+/// `pat in strategy` / `ident: Type` parameters to generated values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $arg:ident : $ty:ty) => {
+        let $arg = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident, $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $arg:pat in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $arg:pat in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)
+     $($(#[$attr:meta])*
+       fn $name:ident($($args:tt)*) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                #[allow(unused_variables, unused_mut)]
+                {
+                    let __config: $crate::test_runner::ProptestConfig = $config;
+                    let __cases = __config.effective_cases();
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_test(stringify!($name));
+                    let mut __executed: u32 = 0;
+                    let mut __rejected: u32 = 0;
+                    while __executed < __cases {
+                        let __case_seed = __rng.state();
+                        $crate::__proptest_bind!(__rng, $($args)*);
+                        let __result = (move || ->
+                            ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                            { $body }
+                            #[allow(unreachable_code)]
+                            ::core::result::Result::Ok(())
+                        })();
+                        match __result {
+                            ::core::result::Result::Ok(()) => __executed += 1,
+                            ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject,
+                            ) => {
+                                __rejected += 1;
+                                if __rejected > __config.max_global_rejects {
+                                    panic!(
+                                        "property {} vacuous: {} inputs rejected",
+                                        stringify!($name), __rejected
+                                    );
+                                }
+                            }
+                            ::core::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Fail(__msg),
+                            ) => {
+                                panic!(
+                                    "property {} failed at case {}: {}\n\
+                                     replay just this case with \
+                                     PROPTEST_REPLAY_STATE={:#x}",
+                                    stringify!($name), __executed, __msg, __case_seed
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn malformed_patterns_fall_back_instead_of_panicking() {
+        let mut rng = TestRng::for_test("malformed");
+        // Unclosed class, inverted lengths, inverted class, junk: all must
+        // produce printable ASCII of length 0..=8 (the documented fallback).
+        for pat in ["[ab{1,3}", ".{5,2}", "[z-a]{1,2}", "hello", "[]", ".{x,y}"] {
+            for _ in 0..50 {
+                let s = crate::strategy::Strategy::generate(&pat, &mut rng);
+                assert!(s.chars().count() <= 8, "{pat:?} gave {s:?}");
+                assert!(s.chars().all(|c| c.is_ascii_graphic()), "{pat:?} gave {s:?}");
+            }
+        }
+        // Well-formed class patterns still honour the class and bounds.
+        for _ in 0..50 {
+            let s = crate::strategy::Strategy::generate(&"[a-c]{2,3}", &mut rng);
+            assert!((2..=3).contains(&s.chars().count()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad chars: {s:?}");
+        }
+    }
+
+    #[test]
+    fn replay_state_restores_the_exact_stream() {
+        let mut original = TestRng::for_test("replayable");
+        original.next_u64();
+        let mid_state = original.state();
+        let expected: Vec<u64> = (0..4).map(|_| original.next_u64()).collect();
+        let mut replayed = TestRng::from_seed(mid_state);
+        let got: Vec<u64> = (0..4).map(|_| replayed.next_u64()).collect();
+        assert_eq!(expected, got);
+        // The env override parses both hex (as printed on failure) and
+        // decimal forms.
+        assert_eq!(super::test_runner::parse_u64("0xDEAD"), Some(0xDEAD));
+        assert_eq!(super::test_runner::parse_u64("1234"), Some(1234));
+        assert_eq!(super::test_runner::parse_u64("garbage"), None);
+    }
+
+    #[test]
+    fn string_pattern_lengths() {
+        let mut rng = TestRng::for_test("pat");
+        for _ in 0..100 {
+            let s = crate::strategy::Strategy::generate(&".{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "bad len: {s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_generates_long_and_non_ascii_strings() {
+        let mut rng = TestRng::for_test("dotstar");
+        let mut saw_empty = false;
+        let mut saw_long = false;
+        let mut saw_multibyte = false;
+        for _ in 0..300 {
+            let s = crate::strategy::Strategy::generate(&".*", &mut rng);
+            let n = s.chars().count();
+            assert!(n <= 64, "too long: {n}");
+            saw_empty |= n == 0;
+            saw_long |= n > 32;
+            saw_multibyte |= s.len() > n;
+        }
+        assert!(saw_empty && saw_long && saw_multibyte,
+            "coverage: empty={saw_empty} long={saw_long} multibyte={saw_multibyte}");
+        // `.` and `.+` quantifier semantics.
+        for _ in 0..50 {
+            assert_eq!(crate::strategy::Strategy::generate(&".", &mut rng).chars().count(), 1);
+            assert!(!crate::strategy::Strategy::generate(&".+", &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::for_test("coll");
+        for _ in 0..50 {
+            let v = crate::collection::vec(any::<u8>(), 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            let m = crate::collection::btree_map(0u32..10, any::<u64>(), 0..5).generate(&mut rng);
+            assert!(m.len() < 5);
+            let s = crate::collection::btree_set(0u32..100, 0..6).generate(&mut rng);
+            assert!(s.len() < 6);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_in_range(x in 10u32..20, (a, b) in (0u8..4, any::<bool>())) {
+            prop_assert!((10..20).contains(&x), "x out of range: {}", x);
+            prop_assert!(a < 4);
+            let _ = b;
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, .. ProptestConfig::default() })]
+
+        #[test]
+        fn config_and_assume_work(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_option() {
+        let mut rng = TestRng::for_test("map");
+        let strat = (0u32..5, 0u32..5).prop_map(|(a, b)| a + b);
+        for _ in 0..50 {
+            assert!(strat.generate(&mut rng) <= 8);
+        }
+        let opt = crate::option::of(1u32..2);
+        let mut seen_none = false;
+        let mut seen_some = false;
+        for _ in 0..200 {
+            match opt.generate(&mut rng) {
+                None => seen_none = true,
+                Some(1) => seen_some = true,
+                Some(v) => panic!("out of range: {v}"),
+            }
+        }
+        assert!(seen_none && seen_some);
+    }
+}

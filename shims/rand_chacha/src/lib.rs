@@ -1,0 +1,51 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! The simulator only requires a deterministic, seedable, clonable generator
+//! with the `ChaCha8Rng` name; this shim provides that over the `rand`
+//! shim's xoshiro256++ core (not the actual ChaCha stream cipher — nothing
+//! in the workspace relies on cryptographic properties, only on determinism
+//! per seed).
+
+use rand::{RngCore, SeedableRng, Xoshiro256};
+
+macro_rules! chacha {
+    ($name:ident, $salt:expr) => {
+        /// Deterministic seedable generator (xoshiro-backed in this shim).
+        #[derive(Clone, Debug)]
+        pub struct $name(Xoshiro256);
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                self.0.next_u64()
+            }
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(state: u64) -> Self {
+                // Salt per flavour so ChaCha8/12/20 streams differ.
+                $name(Xoshiro256::from_u64_seed(state ^ $salt))
+            }
+        }
+    };
+}
+
+chacha!(ChaCha8Rng, 0x8888_8888_8888_8888);
+chacha!(ChaCha12Rng, 0x1212_1212_1212_1212);
+chacha!(ChaCha20Rng, 0x2020_2020_2020_2020);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_flavour_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = ChaCha12Rng::seed_from_u64(42);
+        assert_ne!(a.next_u64(), c.next_u64());
+        let x: u64 = a.gen_range(10..20);
+        assert!((10..20).contains(&x));
+    }
+}

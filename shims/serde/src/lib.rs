@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! crates.io is unreachable in the build environment, and the workspace only
+//! uses serde as a derive-level marker (`#[derive(Serialize, Deserialize)]`);
+//! every byte that actually crosses a link or hits stable storage is encoded
+//! by `abcast_types::codec`. This shim keeps those derives compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type, so `T: Serialize` bounds keep working.
+//! * The derive macros of the same names (re-exported from the sibling
+//!   `serde_derive` proc-macro crate) expand to nothing.
+//!
+//! Swapping back to the real serde later is a one-line change in
+//! `[workspace.dependencies]`; no source edits are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` with the owned-deserialization marker.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

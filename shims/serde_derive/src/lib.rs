@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in an environment with no access to crates.io, so the
+//! real `serde`/`serde_derive` cannot be fetched. The protocol crates only use
+//! `#[derive(Serialize, Deserialize)]` as documentation-grade markers — all
+//! wire and storage encoding goes through the hand-rolled codec in
+//! `abcast_types::codec`. These derives therefore expand to nothing; the
+//! matching marker traits in the sibling `serde` shim have blanket impls.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `Serialize` (the `serde` shim blanket-implements it).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `Deserialize` (the `serde` shim blanket-implements it).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
