@@ -1,0 +1,67 @@
+//! Criterion bench for experiment E11 (group-commit WAL): wall-clock cost
+//! of committing protocol-step-sized write batches against each on-disk
+//! backend.  The interesting output is the `exp_storage` table and
+//! `BENCH_storage.json`; this bench tracks the raw storage-layer cost so
+//! regressions in the WAL framing or the file backend's handle caching
+//! show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use abcast_storage::{FileStorage, StableStorage, StorageKey, WalStorage, WriteBatch};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("abcast-bench-storage-{tag}-{}", std::process::id()))
+}
+
+/// Commits `batches` three-operation batches (one slot store, two log
+/// appends — the shape of a busy protocol step) against `storage`.
+fn drive(storage: &dyn StableStorage, batches: usize) {
+    let slot = StorageKey::new("abcast/agreed");
+    let log = StorageKey::new("abcast/agreed/delta");
+    for i in 0..batches {
+        let mut batch = WriteBatch::new();
+        batch.store(&slot, &(i as u64).to_le_bytes());
+        batch.append(&log, &[i as u8; 48]);
+        batch.append(&log, &[i as u8; 16]);
+        storage.commit_batch(batch).expect("commit succeeds");
+    }
+}
+
+fn bench_storage_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11_storage_backends");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const BATCHES: usize = 50;
+
+    group.bench_function(BenchmarkId::new("commit_50_step_batches", "file"), |b| {
+        b.iter(|| {
+            let dir = temp_dir("file");
+            let _ = std::fs::remove_dir_all(&dir);
+            let storage = FileStorage::open(&dir).expect("file storage opens");
+            drive(&storage, BATCHES);
+            let ops = storage.metrics().snapshot().sync_ops;
+            let _ = std::fs::remove_dir_all(&dir);
+            ops
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("commit_50_step_batches", "wal"), |b| {
+        b.iter(|| {
+            let path = temp_dir("wal").with_extension("wal");
+            let _ = std::fs::remove_file(&path);
+            let storage = WalStorage::open(&path)
+                .expect("wal storage opens")
+                .with_group_window(8);
+            drive(&storage, BATCHES);
+            let ops = storage.metrics().snapshot().sync_ops;
+            let _ = std::fs::remove_file(&path);
+            ops
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage_backends);
+criterion_main!(benches);

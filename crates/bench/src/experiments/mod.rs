@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E10).  See the crate documentation and
+//! The experiment suite (E1–E11).  See the crate documentation and
 //! `EXPERIMENTS.md` for the mapping from paper claims to experiments.
 
 pub mod e01_log_ops;
@@ -11,6 +11,7 @@ pub mod e07_ct_comparison;
 pub mod e08_log_growth;
 pub mod e09_deferred;
 pub mod e10_quorum;
+pub mod e11_storage;
 
 use crate::report::Table;
 
@@ -31,6 +32,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e08_log_growth::run(quick),
         e09_deferred::run(quick),
         e10_quorum::run(quick),
+        e11_storage::run(quick),
     ]
 }
 
@@ -42,7 +44,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables_in_quick_mode() {
         let tables = super::run_all(true);
-        assert_eq!(tables.len(), 10);
+        assert_eq!(tables.len(), 11);
         for table in &tables {
             assert!(!table.is_empty(), "{} produced no rows", table.id);
             assert!(!table.columns.is_empty());

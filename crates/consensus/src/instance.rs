@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use abcast_net::ActorContext;
-use abcast_storage::{keys, SharedStorage, TypedStorageExt};
+use abcast_storage::{keys, SharedStorage, TypedStorageExt, WriteBatch};
 use abcast_types::codec::{Decode, Encode};
 use abcast_types::{Ballot, ProcessId, Result, Round};
 
@@ -302,15 +302,17 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
         if !self.persist {
             return;
         }
+        // The promise and the accepted value take effect together, so they
+        // are committed under a single durability barrier instead of two.
+        let mut batch = WriteBatch::new();
         if let Some(promised) = self.promised {
-            let _ = ctx
-                .storage()
-                .store_value(&keys::consensus_promised(self.instance), &promised);
+            batch.store_value(&keys::consensus_promised(self.instance), &promised);
         }
         if let Some(accepted) = &self.accepted {
-            let _ = ctx
-                .storage()
-                .store_value(&keys::consensus_accepted(self.instance), accepted);
+            batch.store_value(&keys::consensus_accepted(self.instance), accepted);
+        }
+        if !batch.is_empty() {
+            let _ = ctx.storage().commit_batch(batch);
         }
     }
 
@@ -425,6 +427,21 @@ mod tests {
             Some((p, InstanceMsg::Promise { ballot, accepted: Some((ab, 11)) }))
                 if *p == ProcessId::new(1) && *ballot == b(4, 1) && *ab == b(3, 0)
         ));
+    }
+
+    #[test]
+    fn accepting_persists_promise_and_value_under_one_barrier() {
+        let mut ctx = ctx_for(2, 3);
+        let mut inst: ConsensusInstance<u64> = ConsensusInstance::new(k(), true);
+        let before = ctx.storage().metrics().snapshot();
+        inst.on_message(
+            ProcessId::new(0),
+            InstanceMsg::AcceptRequest { ballot: b(1, 0), value: 11 },
+            &mut ctx,
+        );
+        let delta = ctx.storage().metrics().snapshot().since(&before);
+        assert_eq!(delta.store_ops, 2, "promise and accepted value are both logged");
+        assert_eq!(delta.sync_ops, 1, "but they share one durability barrier");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::BTreeSet;
 use abcast_consensus::ConsensusConfig;
 use abcast_net::LinkConfig;
 use abcast_sim::{FaultPlan, SimConfig, SimStats, Simulation};
-use abcast_storage::StorageSnapshot;
+use abcast_storage::{StorageRegistry, StorageSnapshot};
 use abcast_types::{
     AppMessage, MsgId, ProcessId, ProcessSet, ProtocolConfig, SimDuration, SimTime,
 };
@@ -89,16 +89,26 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds and starts the cluster.
+    /// Builds and starts the cluster over fresh in-memory stable storage.
     pub fn new(config: ClusterConfig) -> Self {
+        let storage = StorageRegistry::in_memory(config.processes);
+        Cluster::with_registry(config, storage)
+    }
+
+    /// Builds and starts the cluster over an existing storage registry —
+    /// e.g. file- or WAL-backed storages (experiment E11), or storages
+    /// carried over from a previous deployment to exercise whole-cluster
+    /// recovery.
+    pub fn with_registry(config: ClusterConfig, storage: StorageRegistry) -> Self {
         let protocol = config.protocol.clone();
         let consensus = config.consensus.clone();
-        let sim = Simulation::new(
+        let sim = Simulation::with_storage(
             SimConfig {
                 processes: config.processes,
                 seed: config.seed,
                 link: config.link.clone(),
             },
+            storage,
             move |_p, _storage| AtomicBroadcast::new(protocol.clone(), consensus.clone()),
         );
         Cluster {

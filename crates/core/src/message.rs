@@ -34,6 +34,22 @@ pub enum AbcastMsg {
         /// messages).
         agreed: AgreedQueue,
     },
+    /// `state-suffix(k, from, messages)`: the portion of the sender's
+    /// delivery sequence the lagging receiver is missing, instead of the
+    /// whole queue.  Sent when the sender still remembers how many
+    /// messages a process at the receiver's round has delivered (the
+    /// suffix is then O(gap)); the full [`AbcastMsg::State`] snapshot is
+    /// the fallback once that history was compacted away.
+    StateSuffix {
+        /// The last round reflected in the suffix (`k_p − 1` at the
+        /// sender).
+        round: Round,
+        /// Number of messages the receiver must already have delivered for
+        /// the suffix to apply (its delivery count at its gossiped round).
+        from_count: u64,
+        /// The missing messages, in canonical delivery order.
+        messages: Vec<AppMessage>,
+    },
     /// A message of the consensus substrate (failure detector heartbeats or
     /// instance messages).
     Consensus(ConsensusMsg<Batch>),
@@ -45,6 +61,7 @@ impl AbcastMsg {
         match self {
             AbcastMsg::Gossip { .. } => "gossip",
             AbcastMsg::State { .. } => "state",
+            AbcastMsg::StateSuffix { .. } => "state-suffix",
             AbcastMsg::Consensus(inner) => inner.kind(),
         }
     }
@@ -54,9 +71,19 @@ impl AbcastMsg {
         matches!(self, AbcastMsg::Gossip { .. })
     }
 
-    /// `true` for state-transfer messages.
+    /// `true` for full-snapshot state-transfer messages.
     pub fn is_state(&self) -> bool {
         matches!(self, AbcastMsg::State { .. })
+    }
+
+    /// `true` for suffix state-transfer messages.
+    pub fn is_state_suffix(&self) -> bool {
+        matches!(self, AbcastMsg::StateSuffix { .. })
+    }
+
+    /// `true` for any state-transfer message (full snapshot or suffix).
+    pub fn is_state_transfer(&self) -> bool {
+        self.is_state() || self.is_state_suffix()
     }
 }
 
@@ -82,6 +109,18 @@ mod tests {
         };
         assert_eq!(state.kind(), "state");
         assert!(state.is_state());
+        assert!(state.is_state_transfer());
+        assert!(!state.is_state_suffix());
+
+        let suffix = AbcastMsg::StateSuffix {
+            round: Round::new(5),
+            from_count: 2,
+            messages: vec![],
+        };
+        assert_eq!(suffix.kind(), "state-suffix");
+        assert!(suffix.is_state_suffix());
+        assert!(suffix.is_state_transfer());
+        assert!(!suffix.is_state());
 
         let consensus = AbcastMsg::Consensus(ConsensusMsg::instance(
             Round::new(1),

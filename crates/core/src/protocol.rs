@@ -25,13 +25,16 @@
 //! | `upon initialization or recovery` | [`Actor::on_start`] |
 //! | `A-deliver-sequence()` | [`AtomicBroadcast::agreed`] / [`AtomicBroadcast::delivered_messages`] |
 
+use std::collections::BTreeMap;
+
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use abcast_consensus::{ConsensusConfig, MultiConsensus, CONSENSUS_TIMER_SPAN};
-use abcast_net::{Actor, ActorContext, MappedContext, TimerId};
+use abcast_net::{run_step, Actor, ActorContext, MappedContext, TimerId};
 use abcast_storage::{
-    keys, FullSetLogger, IncrementalSetLogger, SetLogger, StorageKey, TypedStorageExt,
+    keys, FullSetLogger, IncrementalSetLogger, SetLogger, SnapshotDeltaPolicy, StorageKey,
+    TypedStorageExt, WriteBatch,
 };
 use abcast_types::{
     AppMessage, BatchingPolicy, LoggingPolicy, MsgId, Payload, ProcessId, ProtocolConfig, Round,
@@ -100,7 +103,8 @@ pub struct ProtocolMetrics {
     /// Messages A-broadcast by this process.
     pub broadcasts: u64,
     /// Messages A-delivered by this process (including via replay, but not
-    /// counting messages adopted wholesale through a state transfer).
+    /// counting messages adopted through a state transfer, whether a full
+    /// snapshot or a suffix).
     pub delivered_total: u64,
     /// Ordering rounds this process has completed.
     pub rounds_completed: u64,
@@ -109,14 +113,25 @@ pub struct ProtocolMetrics {
     pub replayed_rounds_on_recovery: u64,
     /// Rounds skipped thanks to state transfers (Section 5.3).
     pub skipped_rounds: u64,
-    /// State-transfer messages sent to lagging peers.
+    /// State-transfer messages sent to lagging peers (full or suffix).
     pub state_transfers_sent: u64,
-    /// State-transfer messages applied locally.
+    /// State-transfer messages applied locally (full or suffix).
     pub state_transfers_applied: u64,
+    /// Suffix state transfers sent — the O(gap) fast path of the full
+    /// snapshots counted in `state_transfers_sent`.
+    pub suffix_transfers_sent: u64,
+    /// Suffix state transfers applied locally.
+    pub suffix_transfers_applied: u64,
     /// Application-level checkpoints taken (Section 5.2).
     pub app_checkpoints_taken: u64,
-    /// `(k, Agreed)` checkpoints written to stable storage (Section 5.1).
+    /// `(k, Agreed)` checkpoint writes (snapshots plus delta records).
     pub agreed_checkpoints_logged: u64,
+    /// Full `(k, Agreed)` snapshots written (each truncates the delta log).
+    pub agreed_snapshots_logged: u64,
+    /// Incremental `(k, new messages)` delta records appended — the
+    /// O(delta) writes that replace the seed's clone-and-rewrite
+    /// checkpoint.
+    pub agreed_delta_records_logged: u64,
 }
 
 /// The atomic broadcast protocol state machine of one process.
@@ -136,6 +151,24 @@ pub struct AtomicBroadcast {
 
     // --- logging machinery ---
     unordered_logger: Box<dyn SetLogger<AppMessage> + Send>,
+    /// Snapshot-vs-delta schedule for the `(k, Agreed)` checkpoint.
+    agreed_policy: SnapshotDeltaPolicy,
+    /// Round covered by the last persisted checkpoint record (so pure
+    /// round advances are persisted even when no message was delivered).
+    persisted_round: Round,
+    /// `total_delivered` after committing each recent round, kept for the
+    /// last Δ + slack rounds.  Lets the gossip handler compute exactly
+    /// which suffix of `Agreed` a lagging peer is missing; volatile — after
+    /// a crash the full-snapshot fallback covers until it refills.
+    round_watermarks: BTreeMap<u64, u64>,
+    /// Smallest delivery count for which "the last `total − count` explicit
+    /// messages" is exactly the delivery-order suffix.  Compaction usually
+    /// covers a delivery-order *prefix* of the explicit queue; when it
+    /// instead punches a hole (covers a gap-closing message delivered
+    /// *after* a still-explicit out-of-order one), positions below the
+    /// current total stop mapping onto the explicit tail, so suffix
+    /// replies below this floor must fall back to the full snapshot.
+    suffix_floor: u64,
 
     // --- application interface ---
     checkpoint_provider: Box<dyn CheckpointProvider>,
@@ -188,6 +221,7 @@ impl AtomicBroadcast {
         } else {
             Box::new(FullSetLogger::new(keys::unordered()))
         };
+        let agreed_policy = SnapshotDeltaPolicy::new(config.checkpoint_snapshot_every);
         AtomicBroadcast {
             config,
             consensus: MultiConsensus::new(consensus),
@@ -198,6 +232,10 @@ impl AtomicBroadcast {
             next_seq: 0,
             epoch_established: false,
             unordered_logger,
+            agreed_policy,
+            persisted_round: Round::ZERO,
+            round_watermarks: BTreeMap::new(),
+            suffix_floor: 0,
             checkpoint_provider: Box::new(provider),
             pending_deliveries: Vec::new(),
             delivery_log: Vec::new(),
@@ -222,6 +260,14 @@ impl AtomicBroadcast {
         payload: impl Into<Payload>,
         ctx: &mut dyn ActorContext<AbcastMsg>,
     ) -> MsgId {
+        let payload = payload.into();
+        run_step(ctx, |ctx| self.broadcast_step(payload, ctx))
+    }
+
+    /// The body of `A-broadcast`, run under a one-barrier batching scope:
+    /// the `Unordered` log entry and the consensus proposal it may trigger
+    /// share a single durability barrier.
+    fn broadcast_step(&mut self, payload: Payload, ctx: &mut dyn ActorContext<AbcastMsg>) -> MsgId {
         let id = self.assign_id(ctx);
         let message = AppMessage::new(id, payload);
         self.metrics.broadcasts += 1;
@@ -352,18 +398,50 @@ impl AtomicBroadcast {
         let _ = self.unordered_logger.persist(ctx.storage().as_ref(), &set);
     }
 
-    fn persist_agreed_checkpoint(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
-        let record = (self.kp, self.agreed.clone());
-        let _ = ctx
-            .storage()
-            .store_value(&keys::agreed_checkpoint(), &record);
-        self.metrics.agreed_checkpoints_logged += 1;
+    /// Persists the `(k, Agreed)` checkpoint *incrementally* (Section 5.1
+    /// via the Section 5.5 optimisation): normally one delta record holding
+    /// only the messages delivered since the previous checkpoint; a full
+    /// snapshot (which truncates the delta log) when the
+    /// [`SnapshotDeltaPolicy`] schedules one or the delta cannot be
+    /// expressed.  When nothing changed, nothing is written at all.
+    ///
+    /// Invariant relied upon for the delta path: every message not yet
+    /// covered by a persisted record sits at the *tail* of the explicit
+    /// queue.  The checkpoint task maintains it by persisting *before*
+    /// compacting, and state-transfer adoption invalidates the chain.
+    fn persist_agreed(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        let total = self.agreed.total_delivered();
+        let explicit = self.agreed.messages();
+        let new_messages = total.saturating_sub(self.agreed_policy.persisted_units()) as usize;
+        if self.agreed_policy.needs_snapshot(total) || new_messages > explicit.len() {
+            let record = (self.kp, self.agreed.clone());
+            let mut batch = WriteBatch::new();
+            batch.store_value(&keys::agreed_checkpoint(), &record);
+            batch.remove(&keys::agreed_delta());
+            let _ = ctx.storage().commit_batch(batch);
+            self.agreed_policy.note_snapshot(total);
+            self.persisted_round = self.kp;
+            self.metrics.agreed_snapshots_logged += 1;
+            self.metrics.agreed_checkpoints_logged += 1;
+        } else if new_messages > 0 || self.kp != self.persisted_round {
+            let tail: Vec<AppMessage> = explicit[explicit.len() - new_messages..].to_vec();
+            let _ = ctx
+                .storage()
+                .append_value(&keys::agreed_delta(), &(self.kp, tail));
+            self.agreed_policy.note_delta(total);
+            self.persisted_round = self.kp;
+            self.metrics.agreed_delta_records_logged += 1;
+            self.metrics.agreed_checkpoints_logged += 1;
+        }
+        // Unchanged since the previous checkpoint: the write is saved
+        // entirely (Section 5.5).
     }
 
     fn persist_everything(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
         // The "naive" strawman of experiment E1: every variable on every
-        // update.
-        self.persist_agreed_checkpoint(ctx);
+        // update, always as a full rewrite.
+        self.agreed_policy.invalidate();
+        self.persist_agreed(ctx);
         self.persist_unordered(ctx);
     }
 
@@ -411,9 +489,34 @@ impl AtomicBroadcast {
         self.metrics.delivered_total += newly.len() as u64;
         self.metrics.rounds_completed += 1;
         self.kp = self.kp.next();
+        self.note_watermark();
         self.unordered.subtract_agreed(&self.agreed);
         if self.config.logging == LoggingPolicy::Naive {
             self.persist_everything(ctx);
+        }
+    }
+
+    /// Slack beyond Δ for which per-round delivery watermarks are kept —
+    /// matches the consensus-record retention window, so any peer that
+    /// would catch up by replay rather than state transfer never needs a
+    /// watermark.
+    const WATERMARK_SLACK: u64 = 4;
+
+    /// Records how many messages a process at the *current* round has
+    /// delivered, and prunes watermarks that no state transfer can use
+    /// any more.  Only maintained when state transfer is enabled.
+    fn note_watermark(&mut self) {
+        let Some(delta) = self.config.recovery.delta() else {
+            return;
+        };
+        self.round_watermarks
+            .insert(self.kp.value(), self.agreed.total_delivered());
+        let cutoff = self
+            .kp
+            .value()
+            .saturating_sub(delta + Self::WATERMARK_SLACK);
+        if cutoff > 0 {
+            self.round_watermarks = self.round_watermarks.split_off(&cutoff);
         }
     }
 
@@ -423,13 +526,35 @@ impl AtomicBroadcast {
 
     fn recover_state(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
         // Alternative protocol: retrieve (k_p, Agreed_p) and Unordered_p.
+        // The persisted image is the last full snapshot plus the delta
+        // records appended since; replay applies the deltas in order
+        // (append is idempotent, so a delta that raced a snapshot is
+        // harmless).
         if self.config.logging.logs_agreed() {
+            let mut recovered_any = false;
             if let Ok(Some((kp, agreed))) = ctx
                 .storage()
                 .load_value::<(Round, AgreedQueue)>(&keys::agreed_checkpoint())
             {
                 self.kp = kp;
                 self.agreed = agreed;
+                recovered_any = true;
+            }
+            let mut replayed_deltas = 0u64;
+            if let Ok(deltas) = ctx
+                .storage()
+                .load_log_values::<(Round, Vec<AppMessage>)>(&keys::agreed_delta())
+            {
+                for (round, msgs) in deltas {
+                    self.agreed.append_in_order(&msgs);
+                    if round > self.kp {
+                        self.kp = round;
+                    }
+                    replayed_deltas += 1;
+                    recovered_any = true;
+                }
+            }
+            if recovered_any {
                 // The local application must be rebuilt from the recovered
                 // sequence: its checkpoint first, then the explicit suffix.
                 self.checkpoint_provider.restore(self.agreed.checkpoint());
@@ -440,6 +565,13 @@ impl AtomicBroadcast {
                     self.pending_deliveries
                         .push(DeliveryEvent::Deliver(m.clone()));
                 }
+                self.agreed_policy
+                    .note_recovered(self.agreed.total_delivered(), replayed_deltas);
+                self.persisted_round = self.kp;
+                // The recovered queue may carry pre-crash compaction holes
+                // this process no longer knows about: only counts at or
+                // beyond the recovered total are provably suffix-safe.
+                self.suffix_floor = self.agreed.total_delivered();
             }
         }
         if self.config.logging.logs_unordered() {
@@ -464,12 +596,14 @@ impl AtomicBroadcast {
                 self.metrics.delivered_total += newly.len() as u64;
                 self.metrics.rounds_completed += 1;
                 self.kp = self.kp.next();
+                self.note_watermark();
                 replayed += 1;
                 continue;
             }
             break;
         }
         self.metrics.replayed_rounds_on_recovery = replayed;
+        self.note_watermark();
         self.unordered.subtract_agreed(&self.agreed);
     }
 
@@ -497,21 +631,52 @@ impl AtomicBroadcast {
             }
         } else if let Some(delta) = self.config.recovery.delta() {
             // Alternative protocol, Figure 3 line (d): if we are ahead of q
-            // by more than Δ, ship it our state.
+            // by more than Δ, ship it our state — only the suffix it is
+            // missing when we still know its delivery count, the whole
+            // queue otherwise.
             if self.kp.value() > round.value() + delta {
                 if let Some(prev) = self.kp.prev() {
-                    ctx.send(
-                        from,
-                        AbcastMsg::State {
-                            round: prev,
-                            agreed: self.agreed.clone(),
-                        },
-                    );
+                    let reply = self.state_reply_for(round, prev);
+                    ctx.send(from, reply);
                     self.metrics.state_transfers_sent += 1;
                 }
             }
         }
         self.try_advance(ctx);
+    }
+
+    /// Builds the state-transfer reply for a peer gossiping `peer_round`:
+    /// the missing suffix of `Agreed` when the watermark of that round is
+    /// still known *and* the corresponding messages are still explicit in
+    /// the queue; the full snapshot as the fallback (watermarks are
+    /// volatile and the prefix may have been compacted into the
+    /// application checkpoint).
+    fn state_reply_for(&mut self, peer_round: Round, prev: Round) -> AbcastMsg {
+        let total = self.agreed.total_delivered();
+        let explicit = self.agreed.messages();
+        let explicit_start = total - explicit.len() as u64;
+        let peer_count = if peer_round.value() == 0 {
+            // Every process starts with an empty queue at round 0.
+            Some(0)
+        } else {
+            self.round_watermarks.get(&peer_round.value()).copied()
+        };
+        match peer_count {
+            Some(count)
+                if count >= explicit_start && count >= self.suffix_floor && count <= total => {
+                let suffix = explicit[(count - explicit_start) as usize..].to_vec();
+                self.metrics.suffix_transfers_sent += 1;
+                AbcastMsg::StateSuffix {
+                    round: prev,
+                    from_count: count,
+                    messages: suffix,
+                }
+            }
+            _ => AbcastMsg::State {
+                round: prev,
+                agreed: self.agreed.clone(),
+            },
+        }
     }
 
     fn on_state(
@@ -526,12 +691,13 @@ impl AtomicBroadcast {
         // Figure 3 line (e): apply the snapshot only if we are far behind;
         // otherwise just note the de-synchronisation.
         if self.kp.value() + delta <= round.value() {
-            let skipped = round.next().value() - self.kp.value();
-            self.kp = round.next();
             self.agreed.adopt(agreed.clone());
-            self.unordered.subtract_agreed(&self.agreed);
-            self.metrics.state_transfers_applied += 1;
-            self.metrics.skipped_rounds += skipped;
+            // The adopted queue's compaction history is unknown: serve
+            // suffixes only for counts at or beyond its total.  Its
+            // history is also unrelated to the local delta chain: the next
+            // checkpoint must be a full snapshot.
+            self.suffix_floor = self.agreed.total_delivered();
+            self.agreed_policy.invalidate();
             // The application must restart from the embedded checkpoint and
             // re-apply the explicit suffix; future application checkpoints
             // build on the adopted state.
@@ -542,9 +708,62 @@ impl AtomicBroadcast {
                 self.pending_deliveries
                     .push(DeliveryEvent::Deliver(m.clone()));
             }
-            if self.config.logging.logs_agreed() {
-                self.persist_agreed_checkpoint(ctx);
+            self.complete_state_transfer(round, ctx);
+        } else if round > self.gossip_k {
+            self.gossip_k = round;
+        }
+        self.try_advance(ctx);
+    }
+
+    /// Shared epilogue of both state-transfer paths, run after the local
+    /// queue was updated: jump past the transferred rounds, refresh the
+    /// watermark and the pending set, count the transfer and persist the
+    /// new state.
+    fn complete_state_transfer(&mut self, round: Round, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        let skipped = round.next().value() - self.kp.value();
+        self.kp = round.next();
+        self.note_watermark();
+        self.unordered.subtract_agreed(&self.agreed);
+        self.metrics.state_transfers_applied += 1;
+        self.metrics.skipped_rounds += skipped;
+        if self.config.logging.logs_agreed() {
+            self.persist_agreed(ctx);
+        }
+    }
+
+    /// Applies a suffix state transfer: the missing part of the canonical
+    /// delivery sequence, appended in order on top of the local prefix.
+    ///
+    /// The suffix only applies when the local queue holds *exactly* the
+    /// prefix the sender assumed (`from_count` delivered messages) — the
+    /// delivery sequence up to a round is deterministic, so equal counts
+    /// mean equal prefixes.  Anything else falls back to noting the
+    /// de-synchronisation, which keeps gossip retrying until a matching
+    /// suffix or a full snapshot arrives.
+    fn on_state_suffix(
+        &mut self,
+        round: Round,
+        from_count: u64,
+        messages: Vec<AppMessage>,
+        ctx: &mut dyn ActorContext<AbcastMsg>,
+    ) {
+        let Some(delta) = self.config.recovery.delta() else {
+            return; // basic protocol: state messages are not part of it
+        };
+        if self.kp.value() + delta <= round.value()
+            && self.agreed.total_delivered() == from_count
+        {
+            // Like a full snapshot, the installed messages count as
+            // adopted, not as local deliveries (`delivered_total` stays
+            // untouched); unlike a snapshot, they extend the local prefix
+            // in place, so plain Deliver events suffice and the appended
+            // tail persists as one delta record in the shared epilogue.
+            let newly = self.agreed.append_in_order(&messages);
+            for m in &newly {
+                self.pending_deliveries.push(DeliveryEvent::Deliver(m.clone()));
             }
+            self.metrics.suffix_transfers_applied += 1;
+            self.complete_state_transfer(round, ctx);
         } else if round > self.gossip_k {
             self.gossip_k = round;
         }
@@ -552,10 +771,32 @@ impl AtomicBroadcast {
     }
 
     fn run_checkpoint_task(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        // Persist *before* compacting: this keeps the delta invariant (all
+        // unpersisted messages are the tail of the explicit queue), so the
+        // periodic checkpoint writes O(messages since last checkpoint)
+        // instead of cloning and rewriting the whole agreed sequence.  The
+        // compaction that follows is volatile-state-only bookkeeping; its
+        // effect reaches stable storage with the next full snapshot.
+        if self.config.logging.logs_agreed() {
+            self.persist_agreed(ctx);
+        }
         if self.config.application_checkpoints {
             // Figure 4 line (b): Agreed ← (A-checkpoint(Agreed), VC(Agreed)).
+            let pre_compact: Vec<MsgId> =
+                self.agreed.messages().iter().map(AppMessage::id).collect();
             let covered = self.agreed.compact(Payload::new());
             if !covered.is_empty() {
+                // If compaction covered anything other than the
+                // delivery-order prefix of the explicit queue, positions no
+                // longer map onto the explicit tail: raise the suffix
+                // floor so state replies below it use the full snapshot.
+                let covered_a_prefix = covered
+                    .iter()
+                    .map(AppMessage::id)
+                    .eq(pre_compact.iter().copied().take(covered.len()));
+                if !covered_a_prefix {
+                    self.suffix_floor = self.agreed.total_delivered();
+                }
                 let state = self.checkpoint_provider.checkpoint(&covered);
                 self.agreed.set_checkpoint_state(state);
                 self.metrics.app_checkpoints_taken += 1;
@@ -573,9 +814,6 @@ impl AtomicBroadcast {
                 self.unordered_logger.forget();
                 self.persist_unordered(ctx);
             }
-        }
-        if self.config.logging.logs_agreed() {
-            self.persist_agreed_checkpoint(ctx);
         }
     }
 
@@ -608,10 +846,9 @@ impl AtomicBroadcast {
     }
 }
 
-impl Actor for AtomicBroadcast {
-    type Msg = AbcastMsg;
-
-    fn on_start(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
+impl AtomicBroadcast {
+    /// `on_start` body; runs under a batching scope (see [`Actor::on_start`]).
+    fn start_step(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
         // Volatile bookkeeping of the incremental logger is lost on crash.
         self.unordered_logger.forget();
 
@@ -630,7 +867,8 @@ impl Actor for AtomicBroadcast {
         self.try_advance(ctx);
     }
 
-    fn on_message(
+    /// `on_message` body; runs under a batching scope.
+    fn message_step(
         &mut self,
         from: ProcessId,
         msg: AbcastMsg,
@@ -639,6 +877,11 @@ impl Actor for AtomicBroadcast {
         match msg {
             AbcastMsg::Gossip { round, unordered } => self.on_gossip(from, round, unordered, ctx),
             AbcastMsg::State { round, agreed } => self.on_state(round, agreed, ctx),
+            AbcastMsg::StateSuffix {
+                round,
+                from_count,
+                messages,
+            } => self.on_state_suffix(round, from_count, messages, ctx),
             AbcastMsg::Consensus(inner) => {
                 {
                     let mut consensus_ctx =
@@ -652,7 +895,8 @@ impl Actor for AtomicBroadcast {
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<AbcastMsg>) {
+    /// `on_timer` body; runs under a batching scope.
+    fn timer_step(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<AbcastMsg>) {
         if timer == GOSSIP_TIMER {
             // Task gossip: repeat forever multisend gossip(k_p, Unordered_p).
             ctx.multisend(AbcastMsg::Gossip {
@@ -678,6 +922,32 @@ impl Actor for AtomicBroadcast {
             }
             self.try_advance(ctx);
         }
+    }
+}
+
+/// Every handler runs under [`run_step`]: all stable-storage writes of one
+/// event-handling step are committed with a single durability barrier, and
+/// outgoing messages are released only after that commit — one fsync per
+/// step instead of one per logged variable, with the write-ahead ordering
+/// the protocol's recovery argument depends on.
+impl Actor for AtomicBroadcast {
+    type Msg = AbcastMsg;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        run_step(ctx, |ctx| self.start_step(ctx));
+    }
+
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: AbcastMsg,
+        ctx: &mut dyn ActorContext<AbcastMsg>,
+    ) {
+        run_step(ctx, |ctx| self.message_step(from, msg, ctx));
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        run_step(ctx, |ctx| self.timer_step(timer, ctx));
     }
 
     fn on_client_request(&mut self, payload: Bytes, ctx: &mut dyn ActorContext<AbcastMsg>) {
@@ -911,9 +1181,16 @@ mod tests {
         let state = ctx
             .sent
             .iter()
-            .find(|(to, m)| *to == ProcessId::new(2) && m.is_state());
+            .find(|(to, m)| *to == ProcessId::new(2) && m.is_state_transfer());
         assert!(state.is_some(), "a state message must be sent to the laggard");
         assert_eq!(actor.metrics().state_transfers_sent, 1);
+        // The watermark for round 0 is trivially known (empty queue), so
+        // the reply is the O(gap) suffix, not the full snapshot.
+        assert!(matches!(
+            state,
+            Some((_, AbcastMsg::StateSuffix { from_count: 0, messages, .. })) if messages.len() == 5
+        ));
+        assert_eq!(actor.metrics().suffix_transfers_sent, 1);
     }
 
     #[test]
@@ -934,7 +1211,7 @@ mod tests {
             },
             &mut ctx,
         );
-        assert!(ctx.sent.iter().all(|(_, m)| !m.is_state()));
+        assert!(ctx.sent.iter().all(|(_, m)| !m.is_state_transfer()));
         assert_eq!(actor.metrics().state_transfers_sent, 0);
     }
 
@@ -969,6 +1246,149 @@ mod tests {
         }
         let events = actor.take_deliveries();
         assert!(matches!(events.first(), Some(DeliveryEvent::InstallCheckpoint(cp)) if cp.state.as_ref() == b"remote-state"));
+    }
+
+    #[test]
+    fn applying_a_suffix_state_message_extends_the_prefix_in_order() {
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = alternative_actor(); // delta = 3
+        actor.on_start(&mut ctx);
+        actor.take_deliveries();
+
+        // A suffix whose canonical delivery order differs from identity
+        // order: re-sorting it would break Total Order.
+        let suffix = vec![
+            AppMessage::from_parts(ProcessId::new(2), 7, b"a".to_vec()),
+            AppMessage::from_parts(ProcessId::new(1), 0, b"b".to_vec()),
+        ];
+        actor.on_message(
+            ProcessId::new(1),
+            AbcastMsg::StateSuffix {
+                round: Round::new(9),
+                from_count: 0,
+                messages: suffix.clone(),
+            },
+            &mut ctx,
+        );
+        assert_eq!(actor.round(), Round::new(10));
+        assert_eq!(actor.metrics().state_transfers_applied, 1);
+        assert_eq!(actor.metrics().suffix_transfers_applied, 1);
+        let order: Vec<MsgId> = actor.delivered_messages().iter().map(AppMessage::id).collect();
+        assert_eq!(order, vec![suffix[0].id(), suffix[1].id()], "sender order kept");
+    }
+
+    #[test]
+    fn a_suffix_for_a_different_prefix_is_not_applied() {
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = alternative_actor(); // delta = 3
+        actor.on_start(&mut ctx);
+        // Locally deliver one message: total_delivered = 1.
+        let m = AppMessage::from_parts(ProcessId::new(1), 0, b"x".to_vec());
+        actor.on_message(ProcessId::new(1), decided(0, vec![m]), &mut ctx);
+
+        // A suffix computed for an empty prefix must be rejected...
+        actor.on_message(
+            ProcessId::new(1),
+            AbcastMsg::StateSuffix {
+                round: Round::new(9),
+                from_count: 0,
+                messages: vec![AppMessage::from_parts(ProcessId::new(2), 0, b"y".to_vec())],
+            },
+            &mut ctx,
+        );
+        assert_eq!(actor.metrics().state_transfers_applied, 0);
+        assert_eq!(actor.round(), Round::new(1), "rounds are not skipped");
+        // ...but the de-synchronisation is noted, so the sequencer keeps
+        // catching up (and future gossip will fetch a matching transfer).
+        assert_eq!(actor.delivered_messages().len(), 1);
+    }
+
+    #[test]
+    fn suffix_reply_carries_only_the_missing_messages() {
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = alternative_actor(); // delta = 3
+        actor.on_start(&mut ctx);
+        for k in 0..6u64 {
+            let m = AppMessage::from_parts(ProcessId::new(1), k, vec![k as u8]);
+            actor.on_message(ProcessId::new(1), decided(k, vec![m]), &mut ctx);
+        }
+        ctx.clear_effects();
+        // A peer stuck at round 2 has delivered exactly 2 messages.
+        actor.on_message(
+            ProcessId::new(2),
+            AbcastMsg::Gossip {
+                round: Round::new(2),
+                unordered: vec![],
+            },
+            &mut ctx,
+        );
+        let reply = ctx
+            .sent
+            .iter()
+            .find(|(to, m)| *to == ProcessId::new(2) && m.is_state_transfer())
+            .map(|(_, m)| m.clone())
+            .expect("laggard must get a state transfer");
+        match reply {
+            AbcastMsg::StateSuffix {
+                round,
+                from_count,
+                messages,
+            } => {
+                assert_eq!(round, Round::new(5));
+                assert_eq!(from_count, 2);
+                assert_eq!(messages.len(), 4, "only rounds 2..=5 are shipped");
+            }
+            other => panic!("expected a suffix transfer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn suffix_is_not_served_across_a_compaction_hole() {
+        // A compaction that covers a gap-closing message delivered *after*
+        // a still-explicit out-of-order one breaks the position↔suffix
+        // mapping; the reply must fall back to the full snapshot, or the
+        // laggard would silently lose the compacted message.
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = alternative_actor(); // delta = 3, app checkpoints on
+        actor.on_start(&mut ctx);
+
+        // Round 0 delivers (p2, seq 1) — out of order, not compactable.
+        let out_of_order = AppMessage::from_parts(ProcessId::new(2), 1, b"x".to_vec());
+        actor.on_message(ProcessId::new(1), decided(0, vec![out_of_order.clone()]), &mut ctx);
+        // Round 1 delivers (p1, seq 0) — gap-free, compactable.
+        let compactable = AppMessage::from_parts(ProcessId::new(1), 0, b"y".to_vec());
+        actor.on_message(ProcessId::new(1), decided(1, vec![compactable.clone()]), &mut ctx);
+        // The checkpoint task compacts the later-delivered message while
+        // the earlier one stays explicit: a hole.
+        actor.on_timer(CHECKPOINT_TIMER, &mut ctx);
+        assert!(actor.agreed().contains(compactable.id()));
+        assert_eq!(actor.delivered_messages()[0].id(), out_of_order.id());
+
+        // Race ahead so a peer at round 1 is more than Δ behind.
+        for k in 2..7u64 {
+            let m = AppMessage::from_parts(ProcessId::new(1), k - 1, vec![k as u8]);
+            actor.on_message(ProcessId::new(1), decided(k, vec![m]), &mut ctx);
+        }
+        ctx.clear_effects();
+        actor.on_message(
+            ProcessId::new(2),
+            AbcastMsg::Gossip {
+                round: Round::new(1),
+                unordered: vec![],
+            },
+            &mut ctx,
+        );
+        let reply = ctx
+            .sent
+            .iter()
+            .find(|(to, m)| *to == ProcessId::new(2) && m.is_state_transfer())
+            .map(|(_, m)| m.clone())
+            .expect("laggard must get a state transfer");
+        assert!(
+            reply.is_state(),
+            "a suffix across the compaction hole would drop {:?}; got {reply:?}",
+            compactable.id()
+        );
     }
 
     #[test]
@@ -1035,6 +1455,124 @@ mod tests {
             events.iter().any(|e| matches!(e, DeliveryEvent::InstallCheckpoint(_)))
                 || events.iter().any(|e| matches!(e, DeliveryEvent::Deliver(_))),
             "the application is rebuilt from the recovered sequence"
+        );
+    }
+
+    #[test]
+    fn checkpoints_write_deltas_not_the_whole_history() {
+        // Disable application checkpoints so the explicit queue keeps the
+        // whole history — the worst case for the seed's clone-and-rewrite
+        // checkpoint — and use a large snapshot interval so every periodic
+        // checkpoint is a delta record.
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = AtomicBroadcast::new(
+            ProtocolConfig::alternative()
+                .with_delta(3)
+                .with_application_checkpoints(false)
+                .with_checkpoint_snapshot_every(100),
+            abcast_consensus::ConsensusConfig::crash_recovery(),
+        );
+        actor.on_start(&mut ctx);
+
+        let mut next_round = 0u64;
+        let mut deliver_burst = |actor: &mut AtomicBroadcast, ctx: &mut Ctx, count: u64| {
+            for _ in 0..count {
+                let m = AppMessage::from_parts(
+                    ProcessId::new(1),
+                    next_round,
+                    vec![0u8; 32],
+                );
+                actor.on_message(ProcessId::new(1), decided(next_round, vec![m]), ctx);
+                next_round += 1;
+            }
+        };
+
+        // First checkpoint: the mandatory full snapshot.
+        deliver_burst(&mut actor, &mut ctx, 5);
+        actor.on_timer(CHECKPOINT_TIMER, &mut ctx);
+        assert_eq!(actor.metrics().agreed_snapshots_logged, 1);
+
+        // Each further checkpoint covers 5 new messages while the history
+        // keeps growing.  O(delta) means the bytes per checkpoint stay
+        // flat; O(history) (the seed behaviour) would grow ~6x here.
+        let mut checkpoint_bytes = Vec::new();
+        for _ in 0..6 {
+            deliver_burst(&mut actor, &mut ctx, 5);
+            let before = ctx.storage().metrics().snapshot();
+            actor.on_timer(CHECKPOINT_TIMER, &mut ctx);
+            checkpoint_bytes.push(ctx.storage().metrics().snapshot().since(&before).bytes_written);
+        }
+        assert_eq!(actor.metrics().agreed_delta_records_logged, 6);
+        let first = checkpoint_bytes[0] as f64;
+        let last = *checkpoint_bytes.last().unwrap() as f64;
+        assert!(
+            last <= first * 1.5,
+            "checkpoint bytes must be O(delta), not O(history): first {first}, last {last} \
+             (all: {checkpoint_bytes:?})"
+        );
+
+        // And a delta checkpoint is far smaller than the full queue image.
+        let full_size = actor.agreed().size_bytes() as f64;
+        assert!(
+            last < full_size / 3.0,
+            "a delta record ({last} B) must be much smaller than the full queue ({full_size} B)"
+        );
+    }
+
+    #[test]
+    fn recovery_replays_snapshot_plus_delta_records_in_order() {
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = AtomicBroadcast::new(
+            ProtocolConfig::alternative()
+                .with_delta(3)
+                .with_application_checkpoints(false)
+                .with_checkpoint_snapshot_every(100),
+            abcast_consensus::ConsensusConfig::crash_recovery(),
+        );
+        actor.on_start(&mut ctx);
+
+        // Deliveries whose canonical order differs from identity order.
+        let m0 = AppMessage::from_parts(ProcessId::new(2), 9, b"early".to_vec());
+        let m1 = AppMessage::from_parts(ProcessId::new(1), 0, b"late".to_vec());
+        actor.on_message(ProcessId::new(1), decided(0, vec![m0.clone()]), &mut ctx);
+        actor.on_timer(CHECKPOINT_TIMER, &mut ctx); // snapshot
+        actor.on_message(ProcessId::new(1), decided(1, vec![m1.clone()]), &mut ctx);
+        actor.on_timer(CHECKPOINT_TIMER, &mut ctx); // delta record
+        assert_eq!(actor.metrics().agreed_snapshots_logged, 1);
+        assert_eq!(actor.metrics().agreed_delta_records_logged, 1);
+
+        // Crash and recover over the same storage.
+        let mut recovered = AtomicBroadcast::new(
+            ProtocolConfig::alternative()
+                .with_delta(3)
+                .with_application_checkpoints(false)
+                .with_checkpoint_snapshot_every(100),
+            abcast_consensus::ConsensusConfig::crash_recovery(),
+        );
+        let mut ctx2: Ctx =
+            ScriptedContext::new(ProcessId::new(0), 3).with_storage(ctx.storage_handle());
+        recovered.on_start(&mut ctx2);
+        assert_eq!(recovered.round(), Round::new(2));
+        let order: Vec<MsgId> =
+            recovered.delivered_messages().iter().map(AppMessage::id).collect();
+        assert_eq!(order, vec![m0.id(), m1.id()], "delta replay keeps delivery order");
+    }
+
+    #[test]
+    fn an_alternative_broadcast_step_pays_one_durability_barrier() {
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = alternative_actor();
+        actor.on_start(&mut ctx);
+        let before = ctx.storage().metrics().snapshot();
+        actor.a_broadcast(b"m".to_vec(), &mut ctx);
+        let delta = ctx.storage().metrics().snapshot().since(&before);
+        assert!(
+            delta.write_ops() >= 2,
+            "the step logs the Unordered set and the consensus proposal"
+        );
+        assert_eq!(
+            delta.sync_ops, 1,
+            "but the whole step commits under one durability barrier"
         );
     }
 

@@ -192,6 +192,28 @@ impl AgreedQueue {
         delivered
     }
 
+    /// Appends `msgs` preserving *their given order*, skipping messages
+    /// already in the sequence.  Returns the newly appended messages.
+    ///
+    /// [`AgreedQueue::append_batch`] orders a consensus batch by the
+    /// deterministic identity rule; this method instead trusts the caller's
+    /// order.  It is used where that order *is* the canonical delivery
+    /// order already: replaying `(k, Agreed)` delta records on recovery,
+    /// and installing the suffix of a peer's delivery sequence during a
+    /// state transfer (Section 5.3) — both may span several rounds, so
+    /// re-sorting by identity would destroy Total Order.
+    pub fn append_in_order(&mut self, msgs: &[AppMessage]) -> Vec<AppMessage> {
+        let mut delivered = Vec::new();
+        for m in msgs {
+            if !self.contains(m.id()) {
+                self.messages.push(m.clone());
+                self.total_delivered += 1;
+                delivered.push(m.clone());
+            }
+        }
+        delivered
+    }
+
     /// The explicitly stored suffix of the sequence (everything after the
     /// checkpoint), in delivery order.
     pub fn messages(&self) -> &[AppMessage] {
@@ -472,6 +494,29 @@ mod tests {
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].id(), msg(0, 2).id());
         assert_eq!(a.total_delivered(), 3);
+    }
+
+    #[test]
+    fn append_in_order_preserves_the_given_order_and_skips_duplicates() {
+        // Build the canonical sequence: rounds delivered (1,5) then (0,0)
+        // then (1,6) — an order append_batch's identity sort would destroy.
+        let mut canonical = AgreedQueue::new();
+        canonical.append_batch(&[msg(1, 5)]);
+        canonical.append_batch(&[msg(0, 0)]);
+        canonical.append_batch(&[msg(1, 6)]);
+        let sequence: Vec<AppMessage> = canonical.messages().to_vec();
+
+        // A peer holding a prefix receives the multi-round suffix.
+        let mut lagging = AgreedQueue::new();
+        lagging.append_batch(&[msg(1, 5)]);
+        let newly = lagging.append_in_order(&sequence[1..]);
+        assert_eq!(newly.len(), 2);
+        assert_eq!(lagging.messages(), canonical.messages());
+        assert_eq!(lagging.total_delivered(), 3);
+
+        // Replaying the same suffix is a no-op (idempotence).
+        assert!(lagging.append_in_order(&sequence[1..]).is_empty());
+        assert_eq!(lagging.total_delivered(), 3);
     }
 
     #[test]

@@ -45,7 +45,9 @@ pub use abcast_core::{
 pub use abcast_net::{Actor, ActorContext, LinkConfig, ThreadRuntime, TimerId};
 pub use abcast_replication::{Bank, CertifyingDatabase, KvCommand, KvStore, Replica, Transaction};
 pub use abcast_sim::{FaultPlan, SimConfig, Simulation};
-pub use abcast_storage::{FileStorage, InMemoryStorage, StorageRegistry};
+pub use abcast_storage::{
+    FileStorage, InMemoryStorage, StorageRegistry, WalStorage, WriteBatch,
+};
 pub use abcast_types::{
     AppMessage, MsgId, Payload, ProcessId, ProcessSet, Round, SimDuration, SimTime,
 };

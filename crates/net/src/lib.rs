@@ -12,6 +12,9 @@
 //! * [`MappedContext`] — composition adapter that lets the atomic broadcast
 //!   actor embed consensus and failure-detector components speaking their
 //!   own message types;
+//! * [`StepContext`] / [`run_step`] — per-step write batching: one
+//!   durability barrier per handler invocation, messages held back until
+//!   the commit (group commit with write-ahead ordering preserved);
 //! * [`LinkConfig`] / [`LinkModel`] — the fair-lossy link model (loss,
 //!   duplication, arbitrary delay, partitions);
 //! * [`ThreadRuntime`] — a live, one-thread-per-process runtime used by the
@@ -22,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod batch;
 pub mod link;
 pub mod metrics;
 pub mod runtime;
 pub mod testkit;
 
 pub use actor::{Actor, ActorContext, ActorFactory, MappedContext, TimerId};
+pub use batch::{run_step, StepContext};
 pub use link::{LinkConfig, LinkModel, PlannedDelivery};
 pub use metrics::{NetworkMetrics, NetworkSnapshot};
 pub use runtime::{RuntimeConfig, ThreadRuntime};

@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use abcast_types::{AbcastError, ProcessId, Result};
 
+use crate::batch::{BatchOp, WriteBatch};
 use crate::metrics::StorageMetrics;
 
 /// Name of a stable-storage record.
@@ -96,6 +97,29 @@ pub trait StableStorage: Send + Sync {
     /// Removes the slot or log `key` (used by log truncation, Section 5.2).
     fn remove(&self, key: &StorageKey) -> Result<()>;
 
+    /// Applies every staged operation of `batch`, in staging order, paying
+    /// as few durability barriers as the backend allows.
+    ///
+    /// The default implementation simply replays the operations one by one
+    /// (each with its own barrier) — correct for every backend, and exactly
+    /// the pre-group-commit behaviour.  Backends with a physical journal
+    /// (the WAL) and the in-memory backend override it to commit the whole
+    /// batch under a single barrier.
+    fn commit_batch(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for op in batch.into_ops() {
+            match op {
+                BatchOp::Store { key, value } => self.store(&key, &value)?,
+                BatchOp::Append { key, value } => self.append(&key, &value)?,
+                BatchOp::Remove { key } => self.remove(&key)?,
+            }
+        }
+        self.metrics().record_batch_commit();
+        Ok(())
+    }
+
     /// Lists every key currently present (slots and logs).
     fn keys(&self) -> Result<Vec<StorageKey>>;
 
@@ -137,6 +161,33 @@ impl StorageRegistry {
             .map(|_| Arc::new(crate::memory::InMemoryStorage::new()) as SharedStorage)
             .collect();
         StorageRegistry::new(stores)
+    }
+
+    /// Builds a registry of `n` file-backed stores, one directory per
+    /// process under `base`.
+    pub fn file_in(base: impl AsRef<std::path::Path>, n: usize) -> Result<Self> {
+        let base = base.as_ref();
+        let stores = (0..n)
+            .map(|i| {
+                crate::file::FileStorage::open(base.join(format!("p{i}")))
+                    .map(|s| Arc::new(s) as SharedStorage)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StorageRegistry::new(stores))
+    }
+
+    /// Builds a registry of `n` WAL-backed stores, one log per process
+    /// under `base`, all using the given group-commit window.
+    pub fn wal_in(base: impl AsRef<std::path::Path>, n: usize, group_window: usize) -> Result<Self> {
+        let base = base.as_ref();
+        std::fs::create_dir_all(base)?;
+        let stores = (0..n)
+            .map(|i| {
+                crate::wal::WalStorage::open(base.join(format!("p{i}.wal")))
+                    .map(|s| Arc::new(s.with_group_window(group_window)) as SharedStorage)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StorageRegistry::new(stores))
     }
 
     /// Number of processes covered by the registry.

@@ -2,11 +2,16 @@
 //!
 //! Each process owns a directory; each slot is a file that is atomically
 //! replaced on `store` (write to a temporary file, then rename), and each
-//! log is a file of length-prefixed records that is extended on `append`.
+//! log is a file of length-prefixed records that is extended on `append`
+//! through a cached open handle (one `open` per log lifetime, one
+//! `sync_data` per record — not one `open` + `sync_all` per record).
 //! The layout is deliberately simple: the point of this backend is to give
 //! the runnable examples real crash-surviving storage, not to compete with
-//! a database.
+//! a database.  In particular it has no journal, so a [`crate::WriteBatch`]
+//! still pays one barrier per operation here; the group-commit backend is
+//! [`crate::WalStorage`].
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -18,15 +23,22 @@ use abcast_types::{AbcastError, Result};
 use crate::api::{StableStorage, StorageKey};
 use crate::metrics::StorageMetrics;
 
+/// Cached open file handles, keyed by log storage key.
+///
+/// Also serializes compound filesystem operations (tmp-write + rename,
+/// append).  Individual examples run one process per directory, but the
+/// trait requires Sync.
+#[derive(Debug, Default)]
+struct Handles {
+    logs: HashMap<StorageKey, File>,
+}
+
 /// Stable storage persisted in a directory on the local filesystem.
 #[derive(Debug)]
 pub struct FileStorage {
     dir: PathBuf,
     metrics: StorageMetrics,
-    // Serializes compound filesystem operations (tmp-write + rename,
-    // append).  Individual examples run one process per directory, but the
-    // trait requires Sync.
-    lock: Mutex<()>,
+    handles: Mutex<Handles>,
 }
 
 impl FileStorage {
@@ -37,7 +49,7 @@ impl FileStorage {
         Ok(FileStorage {
             dir,
             metrics: StorageMetrics::new(),
-            lock: Mutex::new(()),
+            handles: Mutex::new(Handles::default()),
         })
     }
 
@@ -92,7 +104,8 @@ fn write_header(file: &mut File, key: &StorageKey) -> Result<()> {
     Ok(())
 }
 
-fn skip_header(data: &[u8]) -> Result<&[u8]> {
+/// Byte length of the key header at the start of `data`.
+fn header_len(data: &[u8]) -> Result<usize> {
     if data.len() < 4 {
         return Err(AbcastError::storage("truncated storage file header"));
     }
@@ -100,29 +113,30 @@ fn skip_header(data: &[u8]) -> Result<&[u8]> {
     if data.len() < 4 + len {
         return Err(AbcastError::storage("truncated storage file header"));
     }
-    Ok(&data[4 + len..])
+    Ok(4 + len)
 }
 
 impl StableStorage for FileStorage {
     fn store(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
-        let _guard = self.lock.lock();
+        let _guard = self.handles.lock();
         let final_path = self.slot_path(key);
         let tmp_path = final_path.with_extension("slot.tmp");
         {
             let mut tmp = File::create(&tmp_path)?;
             write_header(&mut tmp, key)?;
             tmp.write_all(value)?;
-            tmp.sync_all()?;
+            tmp.sync_data()?;
         }
         fs::rename(&tmp_path, &final_path)?;
         self.metrics.record_store(value.len());
+        self.metrics.record_sync();
         Ok(())
     }
 
     fn load(&self, key: &StorageKey) -> Result<Option<Vec<u8>>> {
-        let _guard = self.lock.lock();
+        let _guard = self.handles.lock();
         let path = self.slot_path(key);
-        let data = match fs::read(&path) {
+        let mut data = match fs::read(&path) {
             Ok(d) => d,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 self.metrics.record_load(0);
@@ -130,28 +144,38 @@ impl StableStorage for FileStorage {
             }
             Err(e) => return Err(e.into()),
         };
-        let value = skip_header(&data)?.to_vec();
-        self.metrics.record_load(value.len());
-        Ok(Some(value))
+        // Drop the header in place instead of copying the payload into a
+        // second allocation.
+        let header = header_len(&data)?;
+        data.drain(..header);
+        self.metrics.record_load(data.len());
+        Ok(Some(data))
     }
 
     fn append(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
-        let _guard = self.lock.lock();
-        let path = self.log_path(key);
-        let is_new = !path.exists();
-        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
-        if is_new {
-            write_header(&mut file, key)?;
-        }
+        let mut handles = self.handles.lock();
+        let file = match handles.logs.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let path = self.log_path(key);
+                let is_new = !path.exists();
+                let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+                if is_new {
+                    write_header(&mut file, key)?;
+                }
+                e.insert(file)
+            }
+        };
         file.write_all(&(value.len() as u64).to_le_bytes())?;
         file.write_all(value)?;
-        file.sync_all()?;
+        file.sync_data()?;
         self.metrics.record_append(value.len());
+        self.metrics.record_sync();
         Ok(())
     }
 
     fn load_log(&self, key: &StorageKey) -> Result<Vec<Vec<u8>>> {
-        let _guard = self.lock.lock();
+        let _guard = self.handles.lock();
         let path = self.log_path(key);
         let data = match fs::read(&path) {
             Ok(d) => d,
@@ -161,7 +185,7 @@ impl StableStorage for FileStorage {
             }
             Err(e) => return Err(e.into()),
         };
-        let mut rest = skip_header(&data)?;
+        let mut rest = &data[header_len(&data)?..];
         let mut entries = Vec::new();
         let mut total = 0usize;
         while !rest.is_empty() {
@@ -183,7 +207,8 @@ impl StableStorage for FileStorage {
     }
 
     fn remove(&self, key: &StorageKey) -> Result<()> {
-        let _guard = self.lock.lock();
+        let mut handles = self.handles.lock();
+        handles.logs.remove(key);
         for path in [self.slot_path(key), self.log_path(key)] {
             match fs::remove_file(&path) {
                 Ok(()) => {}
@@ -196,7 +221,7 @@ impl StableStorage for FileStorage {
     }
 
     fn keys(&self) -> Result<Vec<StorageKey>> {
-        let _guard = self.lock.lock();
+        let _guard = self.handles.lock();
         let mut keys = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
@@ -219,7 +244,7 @@ impl StableStorage for FileStorage {
     }
 
     fn footprint_bytes(&self) -> u64 {
-        let _guard = self.lock.lock();
+        let _guard = self.handles.lock();
         fs::read_dir(&self.dir)
             .map(|entries| {
                 entries
@@ -326,6 +351,32 @@ mod tests {
         s.store(&key("k"), b"first").unwrap();
         s.store(&key("k"), b"second").unwrap();
         assert_eq!(s.load(&key("k")).unwrap().unwrap(), b"second");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_after_remove_recreates_the_log() {
+        // The cached handle must be dropped on remove, so a later append
+        // starts a fresh file (with a fresh header) rather than writing to
+        // the unlinked one.
+        let dir = temp_dir("remove-reopen");
+        let s = FileStorage::open(&dir).unwrap();
+        s.append(&key("log"), b"old").unwrap();
+        s.remove(&key("log")).unwrap();
+        s.append(&key("log"), b"new").unwrap();
+        assert_eq!(s.load_log(&key("log")).unwrap(), vec![b"new".to_vec()]);
+        assert_eq!(s.keys().unwrap(), vec![key("log")]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_standalone_write_counts_one_sync() {
+        let dir = temp_dir("syncs");
+        let s = FileStorage::open(&dir).unwrap();
+        s.store(&key("slot"), b"a").unwrap();
+        s.append(&key("log"), b"b").unwrap();
+        s.append(&key("log"), b"c").unwrap();
+        assert_eq!(s.metrics().snapshot().sync_ops, 3);
         let _ = fs::remove_dir_all(&dir);
     }
 

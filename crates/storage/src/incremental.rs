@@ -121,6 +121,88 @@ impl<T: Encode + Decode + Ord + Clone> SetLogger<T> for IncrementalSetLogger<T> 
     }
 }
 
+/// Bookkeeping for a *snapshot + delta* persistence scheme: a full value is
+/// written rarely, and between snapshots only the changes are appended.
+///
+/// This generalises the [`IncrementalSetLogger`] idea to values that are
+/// not sets (the `(k, Agreed)` checkpoint of Section 5.1): the caller
+/// tracks "units persisted so far" (for the `Agreed` queue: messages ever
+/// delivered) and asks the policy whether the next persist must be a full
+/// snapshot or may be a delta record.  Snapshots are forced
+///
+/// * the very first time (there is nothing to delta against),
+/// * when the caller invalidated the delta chain (e.g. after adopting a
+///   state transfer wholesale),
+/// * every `snapshot_every` delta records, bounding replay length, and
+/// * whenever the caller reports that it cannot produce the delta.
+#[derive(Clone, Debug)]
+pub struct SnapshotDeltaPolicy {
+    snapshot_every: u64,
+    persisted_units: u64,
+    deltas_since_snapshot: u64,
+    snapshot_needed: bool,
+}
+
+impl SnapshotDeltaPolicy {
+    /// Creates a policy that takes a full snapshot every `snapshot_every`
+    /// delta records (at least 1).
+    pub fn new(snapshot_every: u64) -> Self {
+        SnapshotDeltaPolicy {
+            snapshot_every: snapshot_every.max(1),
+            persisted_units: 0,
+            deltas_since_snapshot: 0,
+            snapshot_needed: true,
+        }
+    }
+
+    /// Units (e.g. delivered messages) covered by persisted state.
+    pub fn persisted_units(&self) -> u64 {
+        self.persisted_units
+    }
+
+    /// Number of delta records appended since the last snapshot.
+    pub fn deltas_since_snapshot(&self) -> u64 {
+        self.deltas_since_snapshot
+    }
+
+    /// Marks the delta chain as invalid: the next persist must snapshot.
+    pub fn invalidate(&mut self) {
+        self.snapshot_needed = true;
+    }
+
+    /// `true` if the next persist of a value now covering `units` must be
+    /// a full snapshot rather than a delta record.
+    pub fn needs_snapshot(&self, units: u64) -> bool {
+        self.snapshot_needed
+            || units < self.persisted_units
+            || self.deltas_since_snapshot >= self.snapshot_every
+    }
+
+    /// Records that a full snapshot covering `units` was written: the delta
+    /// log restarts empty.
+    pub fn note_snapshot(&mut self, units: u64) {
+        self.persisted_units = units;
+        self.deltas_since_snapshot = 0;
+        self.snapshot_needed = false;
+    }
+
+    /// Records that a delta record raising coverage to `units` was
+    /// appended.
+    pub fn note_delta(&mut self, units: u64) {
+        self.persisted_units = units;
+        self.deltas_since_snapshot += 1;
+    }
+
+    /// Restores the bookkeeping after a recovery that replayed
+    /// `replayed_deltas` delta records on top of a snapshot, ending at
+    /// `units` covered.
+    pub fn note_recovered(&mut self, units: u64, replayed_deltas: u64) {
+        self.persisted_units = units;
+        self.deltas_since_snapshot = replayed_deltas;
+        self.snapshot_needed = false;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +287,38 @@ mod tests {
         assert_eq!(logger.persist(&storage, &BTreeSet::new()).unwrap(), 0);
         assert_eq!(storage.metrics().write_ops(), 0);
         assert!(logger.recover(&storage).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_delta_policy_schedules_snapshots() {
+        let mut policy = SnapshotDeltaPolicy::new(3);
+        // First persist is always a snapshot.
+        assert!(policy.needs_snapshot(5));
+        policy.note_snapshot(5);
+        assert_eq!(policy.persisted_units(), 5);
+
+        // Then deltas, until the chain reaches the snapshot interval.
+        for units in [7, 9, 11] {
+            assert!(!policy.needs_snapshot(units));
+            policy.note_delta(units);
+        }
+        assert_eq!(policy.deltas_since_snapshot(), 3);
+        assert!(policy.needs_snapshot(12), "interval reached");
+        policy.note_snapshot(12);
+        assert!(!policy.needs_snapshot(13));
+
+        // Invalidating (state transfer adoption) forces a snapshot, and so
+        // does coverage moving backwards (history replaced).
+        policy.invalidate();
+        assert!(policy.needs_snapshot(13));
+        policy.note_snapshot(13);
+        assert!(policy.needs_snapshot(2), "units < persisted ⇒ snapshot");
+
+        // Recovery restores the counters.
+        policy.note_recovered(20, 2);
+        assert_eq!(policy.persisted_units(), 20);
+        assert_eq!(policy.deltas_since_snapshot(), 2);
+        assert!(!policy.needs_snapshot(21));
     }
 
     proptest! {

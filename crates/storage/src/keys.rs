@@ -9,7 +9,8 @@
 //! | Key | Kind | Written by | Paper |
 //! |-----|------|-----------|-------|
 //! | `abcast/proposed/<k>` | slot | sequencer task, before `propose(k, ·)` | §4.2 |
-//! | `abcast/agreed` | slot | checkpoint task: `(k, Agreed)` | §5.1 |
+//! | `abcast/agreed` | slot | checkpoint task: full `(k, Agreed)` snapshot | §5.1 |
+//! | `abcast/agreed/delta` | log | checkpoint task: `(k, new messages)` since the snapshot | §5.1+§5.5 |
 //! | `abcast/unordered` | slot/log | `A-broadcast` when early-return batching is on | §5.4 |
 //! | `abcast/unordered/incr` | log | incremental variant of the above | §5.5 |
 //! | `consensus/<k>/promised` | slot | consensus acceptor | §3.2 |
@@ -33,9 +34,18 @@ pub fn proposed(k: Round) -> StorageKey {
 }
 
 /// Key of the periodic `(k, Agreed)` checkpoint of the alternative protocol
-/// (Figure 4, line *b*).
+/// (Figure 4, line *b*).  Holds the most recent *full snapshot*; the
+/// changes since it live in the [`agreed_delta`] log.
 pub fn agreed_checkpoint() -> StorageKey {
     StorageKey::new("abcast/agreed")
+}
+
+/// Key of the incremental checkpoint log: each record is
+/// `(k, messages delivered since the previous checkpoint record)`.
+/// Recovery replays it on top of the [`agreed_checkpoint`] snapshot; a new
+/// snapshot truncates it.
+pub fn agreed_delta() -> StorageKey {
+    StorageKey::new("abcast/agreed/delta")
 }
 
 /// Key of the logged `Unordered` set (Section 5.4, early-return
@@ -167,6 +177,7 @@ mod tests {
     #[test]
     fn fixed_keys_are_stable() {
         assert_eq!(agreed_checkpoint().as_str(), "abcast/agreed");
+        assert_eq!(agreed_delta().as_str(), "abcast/agreed/delta");
         assert_eq!(unordered().as_str(), "abcast/unordered");
         assert_eq!(unordered_incremental().as_str(), "abcast/unordered/incr");
         assert_eq!(app_checkpoint().as_str(), "app/checkpoint");

@@ -6,31 +6,41 @@
 //!
 //! * [`StableStorage`] — the `log`/`retrieve` interface, with named slots
 //!   (overwritten in place) and append-only logs;
+//! * [`WriteBatch`] / [`StableStorage::commit_batch`] — stage several
+//!   operations, pay one durability barrier;
+//! * [`StagedStorage`] — a view that transparently batches a whole
+//!   protocol step's writes;
 //! * [`InMemoryStorage`] — crash-surviving in-memory backend used by the
 //!   deterministic simulator, tests and benchmarks;
 //! * [`FileStorage`] — file-backed backend used by the runnable examples;
+//! * [`WalStorage`] — group-committed, CRC-framed write-ahead log backend
+//!   with torn-tail-tolerant replay and threshold compaction;
 //! * [`StorageRegistry`] — one storage per process of a deployment;
 //! * [`TypedStorageExt`] — typed reads/writes through the binary codec;
 //! * [`keys`] — the documented key layout used by the protocol stack;
-//! * [`StorageMetrics`] — per-operation and per-byte accounting, the basis
-//!   of the minimal-logging experiments (E1, E5, E8);
-//! * [`IncrementalSetLogger`] / [`FullSetLogger`] — the incremental logging
-//!   optimisation of Section 5.5.
+//! * [`StorageMetrics`] — per-operation, per-byte and per-barrier
+//!   accounting, the basis of the logging experiments (E1, E5, E8, E11);
+//! * [`IncrementalSetLogger`] / [`FullSetLogger`] / [`SnapshotDeltaPolicy`]
+//!   — the incremental logging optimisation of Section 5.5.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod batch;
 pub mod file;
 pub mod incremental;
 pub mod keys;
 pub mod memory;
 pub mod metrics;
 pub mod typed;
+pub mod wal;
 
 pub use api::{SharedStorage, StableStorage, StorageKey, StorageRegistry};
+pub use batch::{BatchOp, StagedStorage, WriteBatch};
 pub use file::FileStorage;
-pub use incremental::{FullSetLogger, IncrementalSetLogger, SetLogger};
+pub use incremental::{FullSetLogger, IncrementalSetLogger, SetLogger, SnapshotDeltaPolicy};
 pub use memory::InMemoryStorage;
 pub use metrics::{StorageMetrics, StorageSnapshot};
 pub use typed::TypedStorageExt;
+pub use wal::WalStorage;

@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use abcast_types::Result;
 
 use crate::api::{StableStorage, StorageKey};
+use crate::batch::{BatchOp, WriteBatch};
 use crate::metrics::StorageMetrics;
 
 #[derive(Debug, Default)]
@@ -65,6 +66,7 @@ impl StableStorage for InMemoryStorage {
         let mut records = self.records.lock();
         records.slots.insert(key.clone(), value.to_vec());
         self.metrics.record_store(value.len());
+        self.metrics.record_sync();
         Ok(())
     }
 
@@ -84,6 +86,7 @@ impl StableStorage for InMemoryStorage {
             .or_default()
             .push(value.to_vec());
         self.metrics.record_append(value.len());
+        self.metrics.record_sync();
         Ok(())
     }
 
@@ -100,6 +103,35 @@ impl StableStorage for InMemoryStorage {
         records.slots.remove(key);
         records.logs.remove(key);
         self.metrics.record_remove();
+        Ok(())
+    }
+
+    fn commit_batch(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // All operations land under one lock acquisition and one simulated
+        // durability barrier — the in-memory analogue of group commit.
+        let mut records = self.records.lock();
+        for op in batch.into_ops() {
+            match op {
+                BatchOp::Store { key, value } => {
+                    self.metrics.record_store(value.len());
+                    records.slots.insert(key, value);
+                }
+                BatchOp::Append { key, value } => {
+                    self.metrics.record_append(value.len());
+                    records.logs.entry(key).or_default().push(value);
+                }
+                BatchOp::Remove { key } => {
+                    records.slots.remove(&key);
+                    records.logs.remove(&key);
+                    self.metrics.record_remove();
+                }
+            }
+        }
+        self.metrics.record_batch_commit();
+        self.metrics.record_sync();
         Ok(())
     }
 

@@ -27,6 +27,8 @@ struct Counters {
     append_ops: AtomicU64,
     load_ops: AtomicU64,
     remove_ops: AtomicU64,
+    sync_ops: AtomicU64,
+    batch_commits: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
 }
@@ -43,6 +45,13 @@ pub struct StorageSnapshot {
     pub load_ops: u64,
     /// Number of removals.
     pub remove_ops: u64,
+    /// Number of durability barriers (fsync or its in-memory analogue).
+    /// A standalone `store`/`append` counts one barrier; a committed
+    /// [`crate::WriteBatch`] counts one barrier for all its operations — the
+    /// quantity experiment E11 (group commit) is about.
+    pub sync_ops: u64,
+    /// Number of [`crate::WriteBatch`] commits.
+    pub batch_commits: u64,
     /// Total bytes written by `store` and `append`.
     pub bytes_written: u64,
     /// Total bytes returned by `load` and `load_log`.
@@ -63,6 +72,8 @@ impl StorageSnapshot {
             append_ops: self.append_ops.saturating_sub(earlier.append_ops),
             load_ops: self.load_ops.saturating_sub(earlier.load_ops),
             remove_ops: self.remove_ops.saturating_sub(earlier.remove_ops),
+            sync_ops: self.sync_ops.saturating_sub(earlier.sync_ops),
+            batch_commits: self.batch_commits.saturating_sub(earlier.batch_commits),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
         }
@@ -75,6 +86,8 @@ impl StorageSnapshot {
             append_ops: self.append_ops + other.append_ops,
             load_ops: self.load_ops + other.load_ops,
             remove_ops: self.remove_ops + other.remove_ops,
+            sync_ops: self.sync_ops + other.sync_ops,
+            batch_commits: self.batch_commits + other.batch_commits,
             bytes_written: self.bytes_written + other.bytes_written,
             bytes_read: self.bytes_read + other.bytes_read,
         }
@@ -116,6 +129,16 @@ impl StorageMetrics {
         self.inner.remove_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one durability barrier.
+    pub fn record_sync(&self) {
+        self.inner.sync_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch commit.
+    pub fn record_batch_commit(&self) {
+        self.inner.batch_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of the counters.
     pub fn snapshot(&self) -> StorageSnapshot {
         StorageSnapshot {
@@ -123,6 +146,8 @@ impl StorageMetrics {
             append_ops: self.inner.append_ops.load(Ordering::Relaxed),
             load_ops: self.inner.load_ops.load(Ordering::Relaxed),
             remove_ops: self.inner.remove_ops.load(Ordering::Relaxed),
+            sync_ops: self.inner.sync_ops.load(Ordering::Relaxed),
+            batch_commits: self.inner.batch_commits.load(Ordering::Relaxed),
             bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
             bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
         }
@@ -136,6 +161,11 @@ impl StorageMetrics {
     /// Total number of bytes written so far.
     pub fn bytes_written(&self) -> u64 {
         self.inner.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Total number of durability barriers so far.
+    pub fn sync_ops(&self) -> u64 {
+        self.inner.sync_ops.load(Ordering::Relaxed)
     }
 }
 
@@ -159,14 +189,19 @@ mod tests {
         m.record_append(5);
         m.record_load(20);
         m.record_remove();
+        m.record_sync();
+        m.record_batch_commit();
         let s = m.snapshot();
         assert_eq!(s.store_ops, 1);
         assert_eq!(s.append_ops, 2);
         assert_eq!(s.load_ops, 1);
         assert_eq!(s.remove_ops, 1);
+        assert_eq!(s.sync_ops, 1);
+        assert_eq!(s.batch_commits, 1);
         assert_eq!(s.bytes_written, 20);
         assert_eq!(s.bytes_read, 20);
         assert_eq!(s.write_ops(), 3);
+        assert_eq!(m.sync_ops(), 1);
     }
 
     #[test]

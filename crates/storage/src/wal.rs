@@ -1,0 +1,761 @@
+//! Group-committed write-ahead-log stable storage.
+//!
+//! The file backend pays one durability barrier per `log` operation (and a
+//! temp-file + rename per slot overwrite).  This backend instead funnels
+//! *every* mutation — slot overwrites, log appends, removals — through a
+//! single append-only journal per process:
+//!
+//! * each mutation is one **CRC-framed record** (`len ‖ crc32 ‖ payload`);
+//! * a committed [`WriteBatch`] becomes one contiguous group of records
+//!   followed by a single barrier — a consensus step that logs three
+//!   values costs one fsync, not three;
+//! * consecutive commits are **group-committed**: the records are written
+//!   to the journal immediately (so they survive a *process* crash, which
+//!   is the paper's failure model — stable storage is the file system, and
+//!   the page cache outlives the process), while the fsync that also
+//!   protects against whole-machine failure is amortized over a
+//!   configurable window of commits;
+//! * replay on open is **torn-tail tolerant**: a truncated or
+//!   CRC-corrupt record ends the replay at the last intact prefix and the
+//!   journal is truncated there, exactly like the redo logs in production
+//!   databases;
+//! * when the journal grows past a threshold and is mostly garbage
+//!   (overwritten slots, removed logs), it is **compacted**: the live
+//!   state is rewritten to a fresh journal which atomically replaces the
+//!   old one.
+//!
+//! The in-memory materialized view (slots + logs) makes reads free of I/O;
+//! the journal exists purely to survive crashes.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use abcast_types::codec::{Decoder, Encoder};
+use abcast_types::{AbcastError, Result};
+
+use crate::api::{StableStorage, StorageKey};
+use crate::batch::{BatchOp, WriteBatch};
+use crate::metrics::StorageMetrics;
+
+/// `len` (u32) plus `crc` (u32).
+const FRAME_HEADER: usize = 8;
+
+/// Default number of commits that share one fsync.
+const DEFAULT_GROUP_WINDOW: usize = 8;
+
+/// Default journal size above which compaction is considered.
+const DEFAULT_COMPACT_THRESHOLD: u64 = 256 * 1024;
+
+/// Byte-indexed lookup table for the IEEE CRC-32 (reflected polynomial),
+/// built at compile time.  The checksum runs on every journal write, so it
+/// must be one table lookup per byte, not eight shift/xor rounds.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 over `data`.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Record tags on the journal.
+const TAG_STORE: u8 = 1;
+const TAG_APPEND: u8 = 2;
+const TAG_REMOVE: u8 = 3;
+
+/// Appends one framed record for `op` to `buf`.
+fn frame_op(buf: &mut Vec<u8>, op: &BatchOp) {
+    let mut payload = Encoder::new();
+    match op {
+        BatchOp::Store { key, value } => {
+            payload.put_u8(TAG_STORE);
+            payload.put_bytes(key.as_str().as_bytes());
+            payload.put_bytes(value);
+        }
+        BatchOp::Append { key, value } => {
+            payload.put_u8(TAG_APPEND);
+            payload.put_bytes(key.as_str().as_bytes());
+            payload.put_bytes(value);
+        }
+        BatchOp::Remove { key } => {
+            payload.put_u8(TAG_REMOVE);
+            payload.put_bytes(key.as_str().as_bytes());
+        }
+    }
+    let payload = payload.into_bytes();
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// Decodes one record payload back into a [`BatchOp`].
+fn decode_op(payload: &[u8]) -> Result<BatchOp> {
+    let mut dec = Decoder::new(payload);
+    let tag = dec.take_u8()?;
+    let key_bytes = dec.take_bytes()?;
+    let key = StorageKey::new(
+        String::from_utf8(key_bytes.to_vec())
+            .map_err(|_| AbcastError::storage("WAL record key is not UTF-8"))?,
+    );
+    Ok(match tag {
+        TAG_STORE => BatchOp::Store {
+            key,
+            value: dec.take_bytes()?.to_vec(),
+        },
+        TAG_APPEND => BatchOp::Append {
+            key,
+            value: dec.take_bytes()?.to_vec(),
+        },
+        TAG_REMOVE => BatchOp::Remove { key },
+        other => {
+            return Err(AbcastError::storage(format!(
+                "unknown WAL record tag {other}"
+            )))
+        }
+    })
+}
+
+/// The materialized state plus the open journal handle.
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    slots: BTreeMap<StorageKey, Vec<u8>>,
+    logs: BTreeMap<StorageKey, Vec<Vec<u8>>>,
+    /// Current journal length in bytes.
+    wal_bytes: u64,
+    /// Bytes of live data (what a compacted journal would hold), kept
+    /// incrementally in step with the materialized view.
+    live_bytes: u64,
+    /// Commits written since the last fsync (group-commit backlog).
+    unsynced_commits: usize,
+    /// Number of compactions performed since open.
+    compactions: u64,
+}
+
+/// Journal bytes one record of `value_len` payload under a key of
+/// `key_len` characters occupies (frame + tag + two length prefixes) —
+/// also the exact size compaction would rewrite it at.
+fn record_cost(key_len: usize, value_len: usize) -> u64 {
+    (FRAME_HEADER + 17 + key_len + value_len) as u64
+}
+
+/// Applies one journal record to the materialized view, keeping the
+/// running live-data byte count (what a compacted journal would hold)
+/// up to date — compaction decisions on the commit path must be O(1),
+/// not a scan of the whole state.
+fn apply_op(
+    slots: &mut BTreeMap<StorageKey, Vec<u8>>,
+    logs: &mut BTreeMap<StorageKey, Vec<Vec<u8>>>,
+    live_bytes: &mut u64,
+    op: BatchOp,
+) {
+    match op {
+        BatchOp::Store { key, value } => {
+            let key_len = key.as_str().len();
+            *live_bytes += record_cost(key_len, value.len());
+            if let Some(old) = slots.insert(key, value) {
+                *live_bytes -= record_cost(key_len, old.len());
+            }
+        }
+        BatchOp::Append { key, value } => {
+            *live_bytes += record_cost(key.as_str().len(), value.len());
+            logs.entry(key).or_default().push(value);
+        }
+        BatchOp::Remove { key } => {
+            let key_len = key.as_str().len();
+            if let Some(old) = slots.remove(&key) {
+                *live_bytes -= record_cost(key_len, old.len());
+            }
+            if let Some(entries) = logs.remove(&key) {
+                for entry in entries {
+                    *live_bytes -= record_cost(key_len, entry.len());
+                }
+            }
+        }
+    }
+}
+
+impl WalInner {
+    fn apply(&mut self, op: BatchOp) {
+        apply_op(&mut self.slots, &mut self.logs, &mut self.live_bytes, op);
+    }
+}
+
+/// Stable storage backed by one group-committed, CRC-framed, append-only
+/// journal.
+#[derive(Debug)]
+pub struct WalStorage {
+    path: PathBuf,
+    metrics: StorageMetrics,
+    group_window: usize,
+    compact_threshold: u64,
+    inner: Mutex<WalInner>,
+}
+
+impl WalStorage {
+    /// Opens (creating if necessary) the journal at `path` and replays it.
+    ///
+    /// Replay stops at the first torn or CRC-corrupt record; the journal is
+    /// truncated to the intact prefix, so a write that was ripped apart by
+    /// a crash can never poison recovery.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let data = match fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+
+        let mut slots: BTreeMap<StorageKey, Vec<u8>> = BTreeMap::new();
+        let mut logs: BTreeMap<StorageKey, Vec<Vec<u8>>> = BTreeMap::new();
+        let mut live_bytes = 0u64;
+        let mut offset = 0usize;
+        while offset + FRAME_HEADER <= data.len() {
+            let len = u32::from_le_bytes(
+                data[offset..offset + 4].try_into().expect("length checked"),
+            ) as usize;
+            let crc = u32::from_le_bytes(
+                data[offset + 4..offset + 8].try_into().expect("length checked"),
+            );
+            let body_start = offset + FRAME_HEADER;
+            if body_start + len > data.len() {
+                break; // torn tail: the record was never fully written
+            }
+            let payload = &data[body_start..body_start + len];
+            if crc32(payload) != crc {
+                break; // corrupt record: keep the intact prefix only
+            }
+            let Ok(op) = decode_op(payload) else {
+                break; // undecodable but CRC-clean: treat like corruption
+            };
+            apply_op(&mut slots, &mut logs, &mut live_bytes, op);
+            offset = body_start + len;
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        if (offset as u64) < data.len() as u64 {
+            // Drop the torn/corrupt suffix so future appends extend a
+            // well-formed journal.
+            file.set_len(offset as u64)?;
+            file.sync_data()?;
+        }
+
+        Ok(WalStorage {
+            path,
+            metrics: StorageMetrics::new(),
+            group_window: DEFAULT_GROUP_WINDOW,
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            inner: Mutex::new(WalInner {
+                file,
+                slots,
+                logs,
+                wal_bytes: offset as u64,
+                live_bytes,
+                unsynced_commits: 0,
+                compactions: 0,
+            }),
+        })
+    }
+
+    /// Sets the group-commit window: how many commits may share one fsync.
+    ///
+    /// `1` fsyncs every commit (maximum durability); larger windows
+    /// amortize the barrier over consecutive commits.  Data is written to
+    /// the journal immediately either way, so a *process* crash (the
+    /// paper's model) loses nothing — only an OS or machine failure can
+    /// lose the last `window − 1` commits.
+    pub fn with_group_window(mut self, window: usize) -> Self {
+        self.group_window = window.max(1);
+        self
+    }
+
+    /// Sets the journal size above which compaction is considered.
+    pub fn with_compact_threshold(mut self, bytes: u64) -> Self {
+        self.compact_threshold = bytes;
+        self
+    }
+
+    /// The journal file backing this storage.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current journal length in bytes.
+    pub fn wal_size_bytes(&self) -> u64 {
+        self.inner.lock().wal_bytes
+    }
+
+    /// Number of compactions performed since open.
+    pub fn compactions(&self) -> u64 {
+        self.inner.lock().compactions
+    }
+
+    /// Forces the group-commit backlog to stable storage now.
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if inner.unsynced_commits > 0 {
+            inner.file.sync_data()?;
+            inner.unsynced_commits = 0;
+            self.metrics.record_sync();
+        }
+        Ok(())
+    }
+
+    /// Rewrites the journal to contain only the live state.
+    pub fn compact(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut WalInner) -> Result<()> {
+        let mut buf = Vec::new();
+        for (key, value) in &inner.slots {
+            frame_op(
+                &mut buf,
+                &BatchOp::Store {
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+            );
+        }
+        for (key, entries) in &inner.logs {
+            for value in entries {
+                frame_op(
+                    &mut buf,
+                    &BatchOp::Append {
+                        key: key.clone(),
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+        let tmp = self.path.with_extension("wal.compact");
+        let mut file = File::create(&tmp)?;
+        file.write_all(&buf)?;
+        file.sync_data()?;
+        // The rename is the commit point: before it the old journal is
+        // intact, after it the compacted one is.  The handle opened on the
+        // tmp file keeps referring to the *same inode* after the rename
+        // (and is positioned at end-of-file), so it becomes the journal
+        // handle directly — no reopen, hence no failure window in which a
+        // stale handle could keep writing to the replaced, unlinked file.
+        fs::rename(&tmp, &self.path)?;
+        inner.file = file;
+        debug_assert_eq!(
+            buf.len() as u64,
+            inner.live_bytes,
+            "the running live-bytes counter must match what compaction rewrites"
+        );
+        inner.wal_bytes = buf.len() as u64;
+        inner.unsynced_commits = 0;
+        inner.compactions += 1;
+        self.metrics.record_sync();
+        Ok(())
+    }
+
+    /// Writes `ops` as one contiguous record group and updates the
+    /// materialized view.  Does *not* issue the barrier.
+    fn write_group(&self, inner: &mut WalInner, ops: Vec<BatchOp>) -> Result<()> {
+        let mut buf = Vec::new();
+        for op in &ops {
+            frame_op(&mut buf, op);
+        }
+        inner.file.write_all(&buf)?;
+        inner.wal_bytes += buf.len() as u64;
+        for op in ops {
+            match &op {
+                BatchOp::Store { value, .. } => self.metrics.record_store(value.len()),
+                BatchOp::Append { value, .. } => self.metrics.record_append(value.len()),
+                BatchOp::Remove { .. } => self.metrics.record_remove(),
+            }
+            inner.apply(op);
+        }
+        Ok(())
+    }
+
+    /// One commit finished: fsync if the group window is full, then
+    /// compact if the journal is oversized and mostly garbage.
+    fn commit_barrier(&self, inner: &mut WalInner) -> Result<()> {
+        inner.unsynced_commits += 1;
+        if inner.unsynced_commits >= self.group_window {
+            inner.file.sync_data()?;
+            inner.unsynced_commits = 0;
+            self.metrics.record_sync();
+        }
+        if inner.wal_bytes > self.compact_threshold && inner.wal_bytes > 2 * inner.live_bytes {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+}
+
+impl StableStorage for WalStorage {
+    fn store(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.write_group(
+            &mut inner,
+            vec![BatchOp::Store {
+                key: key.clone(),
+                value: value.to_vec(),
+            }],
+        )?;
+        self.commit_barrier(&mut inner)
+    }
+
+    fn load(&self, key: &StorageKey) -> Result<Option<Vec<u8>>> {
+        let inner = self.inner.lock();
+        let value = inner.slots.get(key).cloned();
+        self.metrics
+            .record_load(value.as_ref().map(Vec::len).unwrap_or(0));
+        Ok(value)
+    }
+
+    fn append(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.write_group(
+            &mut inner,
+            vec![BatchOp::Append {
+                key: key.clone(),
+                value: value.to_vec(),
+            }],
+        )?;
+        self.commit_barrier(&mut inner)
+    }
+
+    fn load_log(&self, key: &StorageKey) -> Result<Vec<Vec<u8>>> {
+        let inner = self.inner.lock();
+        let entries = inner.logs.get(key).cloned().unwrap_or_default();
+        self.metrics
+            .record_load(entries.iter().map(Vec::len).sum());
+        Ok(entries)
+    }
+
+    fn remove(&self, key: &StorageKey) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.write_group(&mut inner, vec![BatchOp::Remove { key: key.clone() }])?;
+        self.commit_barrier(&mut inner)
+    }
+
+    fn commit_batch(&self, batch: WriteBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        self.write_group(&mut inner, batch.into_ops())?;
+        self.metrics.record_batch_commit();
+        self.commit_barrier(&mut inner)
+    }
+
+    fn keys(&self) -> Result<Vec<StorageKey>> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<StorageKey> = inner
+            .slots
+            .keys()
+            .chain(inner.logs.keys())
+            .cloned()
+            .collect();
+        keys.sort();
+        keys.dedup();
+        Ok(keys)
+    }
+
+    fn metrics(&self) -> &StorageMetrics {
+        &self.metrics
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.inner.lock().wal_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "abcast-wal-test-{tag}-{}-{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_file(&path);
+        path
+    }
+
+    fn key(name: &str) -> StorageKey {
+        StorageKey::new(name)
+    }
+
+    /// Parses the journal into `(offset, len)` frames for corruption tests.
+    fn frames(path: &Path) -> Vec<(usize, usize)> {
+        let data = fs::read(path).unwrap();
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset + FRAME_HEADER <= data.len() {
+            let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+            out.push((offset, FRAME_HEADER + len));
+            offset += FRAME_HEADER + len;
+        }
+        out
+    }
+
+    #[test]
+    fn store_append_remove_round_trip_across_reopen() {
+        let path = temp_wal("roundtrip");
+        {
+            let s = WalStorage::open(&path).unwrap();
+            s.store(&key("abcast/agreed"), b"checkpoint").unwrap();
+            s.append(&key("log"), b"a").unwrap();
+            s.append(&key("log"), b"bb").unwrap();
+            s.store(&key("gone"), b"x").unwrap();
+            s.remove(&key("gone")).unwrap();
+        }
+        let s = WalStorage::open(&path).unwrap();
+        assert_eq!(
+            s.load(&key("abcast/agreed")).unwrap().unwrap(),
+            b"checkpoint"
+        );
+        assert_eq!(
+            s.load_log(&key("log")).unwrap(),
+            vec![b"a".to_vec(), b"bb".to_vec()]
+        );
+        assert_eq!(s.load(&key("gone")).unwrap(), None);
+        assert_eq!(s.keys().unwrap(), vec![key("abcast/agreed"), key("log")]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_batch_commits_under_one_barrier() {
+        let path = temp_wal("batch");
+        let s = WalStorage::open(&path).unwrap().with_group_window(1);
+        let mut batch = WriteBatch::new();
+        batch.store(&key("slot"), b"v");
+        batch.append(&key("log"), b"r1");
+        batch.append(&key("log"), b"r2");
+        s.commit_batch(batch).unwrap();
+        let snap = s.metrics().snapshot();
+        assert_eq!(snap.store_ops, 1);
+        assert_eq!(snap.append_ops, 2);
+        assert_eq!(snap.sync_ops, 1, "three records, one fsync");
+        assert_eq!(snap.batch_commits, 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_window_amortizes_fsyncs_over_commits() {
+        let path = temp_wal("window");
+        let s = WalStorage::open(&path).unwrap().with_group_window(4);
+        for i in 0..7u8 {
+            s.append(&key("log"), &[i]).unwrap();
+        }
+        // 7 commits, window 4: one fsync after the 4th, backlog of 3.
+        assert_eq!(s.metrics().snapshot().sync_ops, 1);
+        s.flush().unwrap();
+        assert_eq!(s.metrics().snapshot().sync_ops, 2);
+        s.flush().unwrap(); // nothing pending: no extra barrier
+        assert_eq!(s.metrics().snapshot().sync_ops, 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped_on_replay() {
+        let path = temp_wal("torn");
+        {
+            let s = WalStorage::open(&path).unwrap().with_group_window(1);
+            s.append(&key("log"), b"first").unwrap();
+            s.append(&key("log"), b"second").unwrap();
+        }
+        // Simulate a crash mid-write: a frame header promising more bytes
+        // than were ever written.
+        let mut data = fs::read(&path).unwrap();
+        let good_len = data.len();
+        data.extend_from_slice(&100u32.to_le_bytes());
+        data.extend_from_slice(&0u32.to_le_bytes());
+        data.extend_from_slice(b"only a few bytes");
+        fs::write(&path, &data).unwrap();
+
+        let s = WalStorage::open(&path).unwrap();
+        assert_eq!(
+            s.load_log(&key("log")).unwrap(),
+            vec![b"first".to_vec(), b"second".to_vec()],
+            "the intact prefix survives"
+        );
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            good_len as u64,
+            "the torn tail is truncated away"
+        );
+        // The journal keeps working after the repair.
+        s.append(&key("log"), b"third").unwrap();
+        let s = WalStorage::open(&path).unwrap();
+        assert_eq!(s.load_log(&key("log")).unwrap().len(), 3);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crc_corrupt_middle_record_keeps_the_prefix_only() {
+        let path = temp_wal("crc");
+        {
+            let s = WalStorage::open(&path).unwrap().with_group_window(1);
+            s.append(&key("log"), b"first").unwrap();
+            s.append(&key("log"), b"second").unwrap();
+            s.append(&key("log"), b"third").unwrap();
+        }
+        let layout = frames(&path);
+        assert_eq!(layout.len(), 3);
+        // Flip one payload byte of the middle record.
+        let mut data = fs::read(&path).unwrap();
+        let (offset, _) = layout[1];
+        data[offset + FRAME_HEADER + 2] ^= 0xFF;
+        fs::write(&path, &data).unwrap();
+
+        let s = WalStorage::open(&path).unwrap();
+        assert_eq!(
+            s.load_log(&key("log")).unwrap(),
+            vec![b"first".to_vec()],
+            "replay stops at the corrupt record: prefix-consistent state"
+        );
+        assert_eq!(fs::metadata(&path).unwrap().len(), layout[1].0 as u64);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_shrinks_the_journal_and_preserves_state() {
+        let path = temp_wal("compact");
+        let s = WalStorage::open(&path)
+            .unwrap()
+            .with_group_window(1)
+            .with_compact_threshold(512);
+        // Overwrite one slot until the journal is mostly garbage.
+        for i in 0..200u32 {
+            s.store(&key("slot"), &i.to_le_bytes()).unwrap();
+        }
+        s.append(&key("log"), b"keep").unwrap();
+        assert!(s.compactions() > 0, "threshold compaction must trigger");
+        assert!(
+            s.wal_size_bytes() < 512,
+            "live state is tiny after compaction, journal was {}",
+            s.wal_size_bytes()
+        );
+        drop(s);
+
+        // Recovery after compaction: the compacted journal replays cleanly.
+        let s = WalStorage::open(&path).unwrap();
+        assert_eq!(
+            s.load(&key("slot")).unwrap().unwrap(),
+            199u32.to_le_bytes()
+        );
+        assert_eq!(s.load_log(&key("log")).unwrap(), vec![b"keep".to_vec()]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explicit_compact_rewrites_live_state() {
+        let path = temp_wal("explicit-compact");
+        let s = WalStorage::open(&path).unwrap().with_group_window(1);
+        for i in 0..50u32 {
+            s.store(&key("slot"), &i.to_le_bytes()).unwrap();
+        }
+        let before = s.wal_size_bytes();
+        s.compact().unwrap();
+        assert!(s.wal_size_bytes() < before);
+        assert_eq!(s.load(&key("slot")).unwrap().unwrap(), 49u32.to_le_bytes());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsynced_group_commits_survive_a_process_crash_reopen() {
+        let path = temp_wal("unsynced");
+        {
+            // Window larger than the number of commits: no fsync ever runs.
+            let s = WalStorage::open(&path).unwrap().with_group_window(1000);
+            s.append(&key("log"), b"written-not-synced").unwrap();
+            assert_eq!(s.metrics().snapshot().sync_ops, 0);
+        }
+        // A process crash drops the handle; the journal (page cache /
+        // file system) still has the record.
+        let s = WalStorage::open(&path).unwrap();
+        assert_eq!(
+            s.load_log(&key("log")).unwrap(),
+            vec![b"written-not-synced".to_vec()]
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wal_matches_a_map_model_across_reopen(
+            ops in proptest::collection::vec(
+                (0usize..3, 0usize..4, proptest::collection::vec(any::<u8>(), 0..12)), 1..40)) {
+            let path = temp_wal("prop");
+            let names = ["a", "b", "c", "d"];
+            let mut slots: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+            let mut logs: BTreeMap<String, Vec<Vec<u8>>> = BTreeMap::new();
+            {
+                let s = WalStorage::open(&path).unwrap().with_group_window(3);
+                for (kind, which, value) in ops {
+                    let name = names[which];
+                    match kind {
+                        0 => {
+                            s.store(&key(name), &value).unwrap();
+                            slots.insert(name.to_string(), value);
+                        }
+                        1 => {
+                            s.append(&key(name), &value).unwrap();
+                            logs.entry(name.to_string()).or_default().push(value);
+                        }
+                        _ => {
+                            s.remove(&key(name)).unwrap();
+                            slots.remove(name);
+                            logs.remove(name);
+                        }
+                    }
+                }
+            }
+            let s = WalStorage::open(&path).unwrap();
+            for name in names {
+                prop_assert_eq!(
+                    s.load(&key(name)).unwrap(),
+                    slots.get(name).cloned());
+                prop_assert_eq!(
+                    s.load_log(&key(name)).unwrap(),
+                    logs.get(name).cloned().unwrap_or_default());
+            }
+            let _ = fs::remove_file(&path);
+        }
+    }
+}

@@ -60,10 +60,30 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Where an [`Encoder`] sends its bytes: a real buffer, or a counter that
+/// only measures how long the encoding would be.
+#[derive(Debug)]
+enum Sink {
+    Buffer(Vec<u8>),
+    Counter(usize),
+}
+
 /// Incrementally builds the byte representation of a record.
-#[derive(Debug, Default)]
+///
+/// A *counting* encoder ([`Encoder::counting`]) implements the same
+/// interface without buffering anything, so size queries
+/// ([`Encode::encoded_len`]) are allocation-free.
+#[derive(Debug)]
 pub struct Encoder {
-    buf: Vec<u8>,
+    sink: Sink,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder {
+            sink: Sink::Buffer(Vec::new()),
+        }
+    }
 }
 
 impl Encoder {
@@ -75,13 +95,31 @@ impl Encoder {
     /// Creates an encoder with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         Encoder {
-            buf: Vec::with_capacity(capacity),
+            sink: Sink::Buffer(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Creates an encoder that discards the bytes and only counts them.
+    pub fn counting() -> Self {
+        Encoder {
+            sink: Sink::Counter(0),
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        match &mut self.sink {
+            Sink::Buffer(buf) => buf.extend_from_slice(bytes),
+            Sink::Counter(count) => *count += bytes.len(),
         }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
+        match &mut self.sink {
+            Sink::Buffer(buf) => buf.push(v),
+            Sink::Counter(count) => *count += 1,
+        }
     }
 
     /// Appends a boolean as one byte (`0` or `1`).
@@ -91,43 +129,51 @@ impl Encoder {
 
     /// Appends a `u32` in little-endian order.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.write(&v.to_le_bytes());
     }
 
     /// Appends a `u64` in little-endian order.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.write(&v.to_le_bytes());
     }
 
     /// Appends an `i64` in little-endian order.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.write(&v.to_le_bytes());
     }
 
     /// Appends a length-prefixed byte slice.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u64(v.len() as u64);
-        self.buf.extend_from_slice(v);
+        self.write(v);
     }
 
     /// Appends raw bytes without a length prefix.
     pub fn put_raw(&mut self, v: &[u8]) {
-        self.buf.extend_from_slice(v);
+        self.write(v);
     }
 
-    /// Number of bytes written so far.
+    /// Number of bytes written (or counted) so far.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        match &self.sink {
+            Sink::Buffer(buf) => buf.len(),
+            Sink::Counter(count) => *count,
+        }
     }
 
     /// `true` when nothing has been written yet.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
     /// Consumes the encoder and returns the encoded bytes.
+    ///
+    /// A counting encoder holds no bytes and returns an empty vector.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        match self.sink {
+            Sink::Buffer(buf) => buf,
+            Sink::Counter(_) => Vec::new(),
+        }
     }
 }
 
@@ -215,8 +261,14 @@ pub trait Encode {
     }
 
     /// Number of bytes the encoding of `self` occupies.
+    ///
+    /// Runs the encoding against a counting sink, so no intermediate
+    /// buffer is allocated — callers on hot paths (`byte_len`, metrics)
+    /// can query sizes for free.
     fn encoded_len(&self) -> usize {
-        self.encode_to_vec().len()
+        let mut enc = Encoder::counting();
+        self.encode(&mut enc);
+        enc.len()
     }
 }
 
@@ -591,6 +643,26 @@ mod tests {
     fn encoded_len_matches_actual_encoding() {
         let v = vec!["abc".to_string(), "defg".to_string()];
         assert_eq!(v.encoded_len(), to_bytes(&v).len());
+    }
+
+    #[test]
+    fn counting_encoder_measures_without_buffering() {
+        let value = (
+            vec![1u64, 2, 3],
+            Some("nested".to_string()),
+            Bytes::from_static(b"raw"),
+        );
+        let mut counting = Encoder::counting();
+        value.encode(&mut counting);
+        assert_eq!(counting.len(), to_bytes(&value).len());
+        assert!(!counting.is_empty());
+        assert!(counting.into_bytes().is_empty(), "a counter holds no bytes");
+
+        let mut empty = Encoder::counting();
+        assert!(empty.is_empty());
+        empty.put_raw(b"xy");
+        empty.put_bytes(b"z");
+        assert_eq!(empty.len(), 2 + 8 + 1);
     }
 
     proptest! {

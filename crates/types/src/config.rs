@@ -140,6 +140,11 @@ pub struct ProtocolConfig {
     /// Whether application-level checkpoints replace the prefix of the
     /// `Agreed` queue (Section 5.2), bounding log growth.
     pub application_checkpoints: bool,
+    /// How many incremental `(k, Agreed)` delta records are appended
+    /// between full snapshots.  Deltas keep each checkpoint O(new
+    /// messages); the periodic snapshot bounds recovery replay and lets
+    /// the delta log be truncated.
+    pub checkpoint_snapshot_every: u64,
 }
 
 impl Default for ProtocolConfig {
@@ -159,6 +164,7 @@ impl ProtocolConfig {
             batching: BatchingPolicy::WaitForAgreed,
             incremental_logging: false,
             application_checkpoints: false,
+            checkpoint_snapshot_every: 16,
         }
     }
 
@@ -174,6 +180,7 @@ impl ProtocolConfig {
             batching: BatchingPolicy::EarlyReturn { max_batch: 64 },
             incremental_logging: true,
             application_checkpoints: true,
+            checkpoint_snapshot_every: 16,
         }
     }
 
@@ -221,6 +228,13 @@ impl ProtocolConfig {
         self.application_checkpoints = enabled;
         self
     }
+
+    /// Sets how many delta checkpoint records are appended between full
+    /// `(k, Agreed)` snapshots (clamped to at least 1).
+    pub fn with_checkpoint_snapshot_every(mut self, every: u64) -> Self {
+        self.checkpoint_snapshot_every = every.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -265,13 +279,15 @@ mod tests {
             .with_delta(3)
             .with_batching(BatchingPolicy::EarlyReturn { max_batch: 10 })
             .with_incremental_logging(true)
-            .with_application_checkpoints(true);
+            .with_application_checkpoints(true)
+            .with_checkpoint_snapshot_every(0);
         assert_eq!(c.timers.gossip_period, SimDuration::from_millis(5));
         assert_eq!(c.timers.checkpoint_period, SimDuration::from_millis(50));
         assert_eq!(c.recovery.delta(), Some(3));
         assert_eq!(c.batching.max_batch(), 10);
         assert!(c.incremental_logging);
         assert!(c.application_checkpoints);
+        assert_eq!(c.checkpoint_snapshot_every, 1, "clamped to at least 1");
     }
 
     #[test]
