@@ -1,4 +1,4 @@
-//! Runs the entire experiment suite (E1-E10) and prints every table, in
+//! Runs the entire experiment suite (E1–E12) and prints every table, in
 //! both plain-text and markdown form.  Pass `--quick` for reduced sweeps.
 
 fn main() {

@@ -94,15 +94,20 @@ mod tests {
     #[test]
     fn bigger_batches_use_fewer_rounds() {
         let table = super::run(true);
-        // Row 1 = batch<=1, last row = batch<=256.
-        let rounds_small: u64 = table.rows[1][2].parse().expect("numeric");
-        let rounds_large: u64 = table.rows.last().unwrap()[2].parse().expect("numeric");
+        // Row 1 = batch<=1, last row = batch<=256.  Guard the sampling —
+        // an empty or truncated table must fail with a message, not panic
+        // on an unchecked unwrap.
+        let (Some(small_row), Some(large_row)) = (table.rows.get(1), table.rows.last()) else {
+            panic!("E4 produced too few rows: {:?}", table.rows);
+        };
+        let rounds_small: u64 = small_row[2].parse().expect("numeric");
+        let rounds_large: u64 = large_row[2].parse().expect("numeric");
         assert!(
             rounds_large <= rounds_small,
             "batch<=256 should use no more rounds ({rounds_large}) than batch<=1 ({rounds_small})"
         );
-        let throughput_small: f64 = table.rows[1][4].parse().expect("numeric");
-        let throughput_large: f64 = table.rows.last().unwrap()[4].parse().expect("numeric");
+        let throughput_small: f64 = small_row[4].parse().expect("numeric");
+        let throughput_large: f64 = large_row[4].parse().expect("numeric");
         assert!(
             throughput_large >= throughput_small,
             "batching should not reduce throughput"

@@ -50,6 +50,14 @@ pub struct MultiConsensus<V> {
     config: ConsensusConfig,
     fd: HeartbeatFd,
     instances: BTreeMap<Round, ConsensusInstance<V>>,
+    /// Watermark below which decided instances have been forgotten
+    /// ([`MultiConsensus::forget_decided_below`]).  A late retransmission
+    /// for such an instance must be *dropped*, not allowed to lazily
+    /// recreate a fresh instance: the recreated instance would know
+    /// neither the proposal nor the decision, so it would accumulate
+    /// forever (unbounded memory) and its `Query`/ballot traffic would
+    /// re-run consensus for a round whose outcome is already fixed.
+    forget_floor: Round,
 }
 
 impl<V: ConsensusValue> MultiConsensus<V> {
@@ -60,6 +68,7 @@ impl<V: ConsensusValue> MultiConsensus<V> {
             config,
             fd: HeartbeatFd::new(fd_config),
             instances: BTreeMap::new(),
+            forget_floor: Round::ZERO,
         }
     }
 
@@ -191,6 +200,37 @@ impl<V: ConsensusValue> MultiConsensus<V> {
     pub fn forget_decided_below(&mut self, before: Round) {
         self.instances
             .retain(|k, i| *k >= before || !i.is_decided());
+        if before > self.forget_floor {
+            self.forget_floor = before;
+        }
+    }
+
+    /// The watermark below which decided instances have been forgotten.
+    pub fn forget_floor(&self) -> Round {
+        self.forget_floor
+    }
+
+    /// Drops every *undecided* instance strictly below `before`.
+    ///
+    /// Used after a state transfer jumped the caller past its own
+    /// in-flight proposals: the transferred state proves every round below
+    /// `before` is decided globally, so the local instances that never
+    /// learned their outcome can only linger as zombies — querying forever
+    /// for decisions their peers have forgotten and inflating the
+    /// in-flight accounting.  Decided instances are kept: they still
+    /// answer peers catching up by replay.
+    pub fn abandon_undecided_below(&mut self, before: Round) {
+        self.instances
+            .retain(|k, i| *k >= before || i.is_decided());
+    }
+
+    /// Number of instances that are open but not yet decided — the rounds
+    /// currently "in flight" under pipelining.
+    pub fn undecided_in_flight(&self) -> usize {
+        self.instances
+            .values()
+            .filter(|i| i.has_proposal() && !i.is_decided())
+            .count()
     }
 
     /// Handles one incoming consensus-module message.  Returns every
@@ -208,6 +248,16 @@ impl<V: ConsensusValue> MultiConsensus<V> {
                 Vec::new()
             }
             ConsensusMsg::Instance { instance: k, msg } => {
+                // Late (retransmitted or long-delayed) traffic for an
+                // instance below the forget watermark is dropped: the
+                // decision was delivered and discarded long ago, and a
+                // peer still asking for it catches up through the state
+                // transfer of Section 5.3, not by re-running consensus.
+                // Instances that are still tracked (undecided survivors of
+                // the cleanup) keep receiving their messages.
+                if k < self.forget_floor && !self.instances.contains_key(&k) {
+                    return Vec::new();
+                }
                 let persist = self.persist();
                 let instance = self
                     .instances
@@ -512,5 +562,89 @@ mod tests {
         assert_eq!(multi.instance_count(), 2);
         assert_eq!(multi.decision(Round::new(4)), Some(&4));
         assert_eq!(multi.decision(Round::new(1)), None);
+        assert_eq!(multi.forget_floor(), Round::new(3));
+    }
+
+    /// Regression test: a late retransmitted message for a round below the
+    /// forget watermark used to lazily recreate a *fresh* instance — which
+    /// knew neither proposal nor decision, was never cleaned up again
+    /// (`forget_decided_below` only drops *decided* instances), and whose
+    /// `Query` multisends re-ran consensus for a settled round.  Under a
+    /// delayed, duplicating link every forgotten round could resurrect this
+    /// way, growing memory without bound.
+    #[test]
+    fn late_message_for_a_forgotten_round_is_dropped() {
+        let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
+        let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
+        multi.on_start(&mut ctx);
+        for k in 0..5u64 {
+            multi.propose(Round::new(k), k, &mut ctx);
+            multi.on_message(
+                ProcessId::new(1),
+                ConsensusMsg::instance(Round::new(k), InstanceMsg::Decided { value: k }),
+                &mut ctx,
+            );
+        }
+        multi.forget_decided_below(Round::new(4));
+        assert_eq!(multi.instance_count(), 1);
+
+        // Delayed duplicates of the whole conversation of round 1 arrive
+        // after the forget: none of them may recreate the instance.
+        ctx.clear_effects();
+        for msg in [
+            ConsensusMsg::instance(Round::new(1), InstanceMsg::Decided { value: 1 }),
+            ConsensusMsg::instance(Round::new(1), InstanceMsg::Query),
+            ConsensusMsg::instance(
+                Round::new(1),
+                InstanceMsg::Prepare { ballot: abcast_types::Ballot::new(7, ProcessId::new(1)) },
+            ),
+        ] {
+            let events = multi.on_message(ProcessId::new(1), msg, &mut ctx);
+            assert!(events.is_empty(), "a forgotten round must not re-decide");
+        }
+        assert_eq!(multi.instance_count(), 1, "no instance resurrected");
+        assert_eq!(multi.decision(Round::new(1)), None);
+        assert!(
+            ctx.sent.is_empty() && ctx.multisent.is_empty(),
+            "dropped traffic must not trigger replies for a settled round"
+        );
+
+        // A round at/above the watermark still accepts messages normally.
+        let events = multi.on_message(
+            ProcessId::new(1),
+            ConsensusMsg::instance(Round::new(9), InstanceMsg::Decided { value: 9 }),
+            &mut ctx,
+        );
+        assert_eq!(events.len(), 1);
+        assert_eq!(multi.decision(Round::new(9)), Some(&9));
+    }
+
+    /// An *undecided* instance below the watermark survives
+    /// `forget_decided_below` and must keep receiving its messages — only
+    /// untracked forgotten rounds are dropped.
+    #[test]
+    fn undecided_instance_below_the_floor_keeps_working() {
+        let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
+        let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
+        multi.on_start(&mut ctx);
+        multi.propose(Round::new(1), 1, &mut ctx); // never decides before the forget
+        for k in [0u64, 2] {
+            multi.propose(Round::new(k), k, &mut ctx);
+            multi.on_message(
+                ProcessId::new(1),
+                ConsensusMsg::instance(Round::new(k), InstanceMsg::Decided { value: k }),
+                &mut ctx,
+            );
+        }
+        multi.forget_decided_below(Round::new(3));
+        assert_eq!(multi.undecided_in_flight(), 1);
+        let events = multi.on_message(
+            ProcessId::new(1),
+            ConsensusMsg::instance(Round::new(1), InstanceMsg::Decided { value: 1 }),
+            &mut ctx,
+        );
+        assert_eq!(events.len(), 1, "the tracked undecided round still decides");
+        assert_eq!(multi.decision(Round::new(1)), Some(&1));
+        assert_eq!(multi.undecided_in_flight(), 0);
     }
 }

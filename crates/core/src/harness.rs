@@ -360,6 +360,55 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_cluster_delivers_the_sequential_sequence() {
+        // Simulation equivalence: the same single-sender workload, ordered
+        // once with the sequential round loop (W = 1) and once with four
+        // rounds in flight (W = 4), must produce the *identical* delivery
+        // sequence — pipelining reorders the deciding, never the applying.
+        use abcast_types::BatchingPolicy;
+        let run = |depth: u64| {
+            let protocol = ProtocolConfig::basic()
+                .with_batching(BatchingPolicy::EarlyReturn { max_batch: 2 })
+                .with_pipeline_depth(depth);
+            let mut cluster = Cluster::new(
+                ClusterConfig::basic(3)
+                    .with_seed(41)
+                    .with_link(abcast_net::LinkConfig::reliable())
+                    .with_protocol(protocol),
+            );
+            let mut ids = Vec::new();
+            for i in 0..10u8 {
+                ids.extend(cluster.broadcast(p(0), vec![i; 4]));
+                cluster.run_for(SimDuration::from_millis(2));
+            }
+            assert!(
+                cluster.run_until_all_delivered(cluster.now() + SimDuration::from_secs(30)),
+                "W = {depth} run must complete"
+            );
+            cluster.assert_properties();
+            let in_flight_peak = cluster
+                .sim()
+                .actor(p(0))
+                .unwrap()
+                .metrics()
+                .max_rounds_in_flight;
+            (cluster.delivered(p(0)), in_flight_peak)
+        };
+        let (sequential, seq_peak) = run(1);
+        let (pipelined, pipe_peak) = run(4);
+        assert_eq!(sequential.len(), 10);
+        assert_eq!(
+            sequential, pipelined,
+            "W = 4 must apply the same sequence as W = 1"
+        );
+        assert_eq!(seq_peak, 1, "the sequential run never runs ahead");
+        assert!(
+            pipe_peak >= 2,
+            "the pipelined run must actually overlap rounds (peak {pipe_peak})"
+        );
+    }
+
+    #[test]
     fn identical_seeds_yield_identical_histories() {
         let run = |seed| {
             let mut cluster = Cluster::new(ClusterConfig::basic(3).with_seed(seed));

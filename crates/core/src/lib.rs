@@ -52,7 +52,7 @@ pub use protocol::{
     AtomicBroadcast, CheckpointProvider, DeliveryEvent, NullCheckpointProvider, ProtocolMetrics,
     CHECKPOINT_TIMER, GOSSIP_TIMER,
 };
-pub use queues::{AgreedQueue, AppCheckpoint, Batch, UnorderedSet};
+pub use queues::{AgreedQueue, AppCheckpoint, Batch, DecisionBuffer, UnorderedSet};
 
 // Re-export the configuration types callers need to build a protocol
 // instance without importing the whole types crate.

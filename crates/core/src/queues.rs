@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 
 use abcast_types::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
-use abcast_types::{AppMessage, MsgId, Payload, VectorClock};
+use abcast_types::{AppMessage, MsgId, Payload, Round, VectorClock};
 
 /// A batch of application messages: the value type agreed on by one
 /// consensus instance (the paper's `Proposed_p[k]` / `result`).
@@ -333,6 +333,58 @@ impl AgreedQueue {
     }
 }
 
+/// Reorder buffer between the consensus substrate and the delivery path.
+///
+/// With pipelining (`ProtocolConfig::pipeline_depth > 1`) consensus
+/// instances for rounds `k .. k + W` run concurrently and may decide in any
+/// order, but the protocol must *apply* decided batches strictly by round
+/// (Total Order depends on every process folding the same batches into
+/// `Agreed` in the same round order).  Decisions arriving early are parked
+/// here until every lower round has been committed.
+///
+/// The buffer is volatile: after a crash the consensus substrate re-learns
+/// in-flight decisions from its per-instance log and the recovery replay
+/// re-fills whatever is needed, so nothing here is persisted.
+#[derive(Clone, Debug, Default)]
+pub struct DecisionBuffer {
+    decisions: BTreeMap<Round, Batch>,
+}
+
+impl DecisionBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        DecisionBuffer::default()
+    }
+
+    /// Parks the decided `batch` of `round`.  Idempotent: consensus never
+    /// decides two different values for one instance, so a re-learned
+    /// decision simply overwrites the identical one.
+    pub fn insert(&mut self, round: Round, batch: Batch) {
+        self.decisions.insert(round, batch);
+    }
+
+    /// Removes and returns the decision of `round`, if buffered.
+    pub fn take(&mut self, round: Round) -> Option<Batch> {
+        self.decisions.remove(&round)
+    }
+
+    /// Drops every buffered decision strictly below `round` — used after a
+    /// state transfer jumped the round counter past them.
+    pub fn drop_below(&mut self, round: Round) {
+        self.decisions = self.decisions.split_off(&round);
+    }
+
+    /// Number of decisions currently parked out of order.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// `true` when no decision is parked.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+}
+
 impl Encode for AgreedQueue {
     fn encode(&self, enc: &mut Encoder) {
         self.checkpoint.encode(enc);
@@ -550,6 +602,35 @@ mod tests {
         let q = AgreedQueue::new();
         assert!(q.is_empty());
         assert_eq!(q.total_delivered(), 0);
+    }
+
+    #[test]
+    fn decision_buffer_releases_rounds_strictly_in_order() {
+        let mut buf = DecisionBuffer::new();
+        assert!(buf.is_empty());
+        buf.insert(Round::new(2), vec![msg(0, 2)]);
+        buf.insert(Round::new(1), vec![msg(0, 1)]);
+        assert_eq!(buf.len(), 2);
+        // Round 0 has not decided: nothing to take.
+        assert_eq!(buf.take(Round::new(0)), None);
+        // Rounds come out by number, independent of insertion order.
+        assert_eq!(buf.take(Round::new(1)), Some(vec![msg(0, 1)]));
+        assert_eq!(buf.take(Round::new(2)), Some(vec![msg(0, 2)]));
+        assert!(buf.take(Round::new(2)).is_none(), "taking twice yields nothing");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decision_buffer_drop_below_discards_stale_rounds() {
+        let mut buf = DecisionBuffer::new();
+        for k in 0..5u64 {
+            buf.insert(Round::new(k), vec![msg(0, k)]);
+        }
+        buf.drop_below(Round::new(3));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.take(Round::new(2)), None, "jumped rounds are gone");
+        assert!(buf.take(Round::new(3)).is_some());
+        assert!(buf.take(Round::new(4)).is_some());
     }
 
     proptest! {

@@ -165,6 +165,32 @@ mod tests {
     }
 
     #[test]
+    fn a_multi_round_commit_shares_one_barrier_and_releases_messages_after() {
+        // The shape of a pipelined commit: one incoming decision releases
+        // several parked rounds, each logging its decision record plus a
+        // checkpoint delta and announcing afterwards.  However many rounds
+        // the step commits, it pays exactly one durability barrier, and no
+        // announcement leaves before the commit.
+        let mut ctx: ScriptedContext<&'static str> = ScriptedContext::new(ProcessId::new(0), 3);
+        run_step(&mut ctx, |step| {
+            for k in 0..3u64 {
+                step.storage()
+                    .store_value(&StorageKey::new(format!("consensus/{k}/decided")), &k)
+                    .unwrap();
+                step.storage()
+                    .append_value(&StorageKey::new("abcast/agreed/delta"), &k)
+                    .unwrap();
+                step.multisend("decided");
+            }
+        });
+        let snap = ctx.storage().metrics().snapshot();
+        assert_eq!(snap.store_ops, 3);
+        assert_eq!(snap.append_ops, 3);
+        assert_eq!(snap.sync_ops, 1, "three concurrently-released rounds, one barrier");
+        assert_eq!(ctx.multisent.len(), 3, "announcements flush after the commit");
+    }
+
+    #[test]
     fn reads_inside_the_step_see_staged_writes() {
         let mut ctx: ScriptedContext<()> = ScriptedContext::new(ProcessId::new(0), 1);
         ctx.storage()

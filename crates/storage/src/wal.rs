@@ -21,8 +21,11 @@
 //!   databases;
 //! * when the journal grows past a threshold and is mostly garbage
 //!   (overwritten slots, removed logs), it is **compacted**: the live
-//!   state is rewritten to a fresh journal which atomically replaces the
-//!   old one.
+//!   state — including any commits still inside the group-commit window —
+//!   is rewritten to a fresh journal which atomically replaces the old
+//!   one, and the replacement is made durable (directory sync) *before*
+//!   the window's backlog is accounted as synced, so compaction can never
+//!   cost the pending tail.
 //!
 //! The in-memory materialized view (slots + logs) makes reads free of I/O;
 //! the journal exists purely to survive crashes.
@@ -80,6 +83,19 @@ fn crc32(data: &[u8]) -> u32 {
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
     }
     !crc
+}
+
+/// Makes a just-performed rename (or create) of `path` durable by syncing
+/// its parent directory.  File data reaches disk through `sync_data` on the
+/// file itself; the *directory entry* pointing at it only becomes crash-safe
+/// once the directory is synced too.
+fn sync_parent_dir(path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 /// Record tags on the journal.
@@ -229,9 +245,13 @@ impl WalStorage {
                 fs::create_dir_all(parent)?;
             }
         }
+        let mut created = false;
         let data = match fs::read(&path) {
             Ok(d) => d,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                created = true;
+                Vec::new()
+            }
             Err(e) => return Err(e.into()),
         };
 
@@ -266,6 +286,11 @@ impl WalStorage {
             .read(true)
             .append(true)
             .open(&path)?;
+        if created {
+            // A brand-new journal's directory entry must be durable before
+            // any commit relies on the file surviving a machine crash.
+            sync_parent_dir(&path)?;
+        }
         if (offset as u64) < data.len() as u64 {
             // Drop the torn/corrupt suffix so future appends extend a
             // well-formed journal.
@@ -366,6 +391,7 @@ impl WalStorage {
         let mut file = File::create(&tmp)?;
         file.write_all(&buf)?;
         file.sync_data()?;
+        self.metrics.record_sync();
         // The rename is the commit point: before it the old journal is
         // intact, after it the compacted one is.  The handle opened on the
         // tmp file keeps referring to the *same inode* after the rename
@@ -380,9 +406,23 @@ impl WalStorage {
             "the running live-bytes counter must match what compaction rewrites"
         );
         inner.wal_bytes = buf.len() as u64;
-        inner.unsynced_commits = 0;
         inner.compactions += 1;
+        // Ordering audit of the compaction ↔ group-commit-window
+        // interaction: compaction rewrites from the materialized view,
+        // which `write_group` updates *before* the barrier accounting, so
+        // the compacted image always contains the window's pending tail
+        // (commits written to the old journal but not yet fsynced).  What
+        // made that tail lose-able was the rename: until the directory
+        // entry is on disk, an OS/machine crash resurrects the *old*
+        // journal file — whose tail was never individually fsynced once
+        // the backlog counter below is cleared.  Sync the directory first;
+        // only then may the backlog be accounted as durable.  Both
+        // physical barriers (tmp-file data above, directory entry here)
+        // are counted, so the fsync/msg experiments stay honest about
+        // what compaction costs.
+        sync_parent_dir(&self.path)?;
         self.metrics.record_sync();
+        inner.unsynced_commits = 0;
         Ok(())
     }
 

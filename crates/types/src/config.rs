@@ -145,6 +145,14 @@ pub struct ProtocolConfig {
     /// messages); the periodic snapshot bounds recovery replay and lets
     /// the delta log be truncated.
     pub checkpoint_snapshot_every: u64,
+    /// Pipeline depth `W`: how many consensus instances the sequencer may
+    /// keep open concurrently.  With `W = 1` the round loop is strictly
+    /// sequential (the paper's presentation: round `k + 1` is proposed only
+    /// after round `k` decided and was committed); with `W > 1` rounds
+    /// `k .. k + W` may gossip and run their ballots concurrently while
+    /// decided batches are still *applied* strictly in round order, so the
+    /// delivery sequence is identical to the sequential run.
+    pub pipeline_depth: u64,
 }
 
 impl Default for ProtocolConfig {
@@ -165,6 +173,7 @@ impl ProtocolConfig {
             incremental_logging: false,
             application_checkpoints: false,
             checkpoint_snapshot_every: 16,
+            pipeline_depth: 1,
         }
     }
 
@@ -181,6 +190,7 @@ impl ProtocolConfig {
             incremental_logging: true,
             application_checkpoints: true,
             checkpoint_snapshot_every: 16,
+            pipeline_depth: 1,
         }
     }
 
@@ -233,6 +243,13 @@ impl ProtocolConfig {
     /// `(k, Agreed)` snapshots (clamped to at least 1).
     pub fn with_checkpoint_snapshot_every(mut self, every: u64) -> Self {
         self.checkpoint_snapshot_every = every.max(1);
+        self
+    }
+
+    /// Sets the pipeline depth `W` (clamped to at least 1): how many
+    /// consensus instances may be open concurrently.
+    pub fn with_pipeline_depth(mut self, depth: u64) -> Self {
+        self.pipeline_depth = depth.max(1);
         self
     }
 }
@@ -288,6 +305,19 @@ mod tests {
         assert!(c.incremental_logging);
         assert!(c.application_checkpoints);
         assert_eq!(c.checkpoint_snapshot_every, 1, "clamped to at least 1");
+    }
+
+    #[test]
+    fn both_variants_default_to_a_sequential_round_loop() {
+        assert_eq!(ProtocolConfig::basic().pipeline_depth, 1);
+        assert_eq!(ProtocolConfig::alternative().pipeline_depth, 1);
+        let c = ProtocolConfig::basic().with_pipeline_depth(4);
+        assert_eq!(c.pipeline_depth, 4);
+        assert_eq!(
+            ProtocolConfig::basic().with_pipeline_depth(0).pipeline_depth,
+            1,
+            "clamped to at least 1"
+        );
     }
 
     #[test]

@@ -4,9 +4,10 @@
 
 use crash_recovery_abcast::core::{Cluster, ClusterConfig};
 use crash_recovery_abcast::storage::{SharedStorage, TypedStorageExt};
+use crash_recovery_abcast::types::BatchingPolicy;
 use crash_recovery_abcast::{
-    ConsensusConfig, FileStorage, KvCommand, KvStore, ProcessId, ProtocolConfig, Replica,
-    SimConfig, SimDuration, SimTime, Simulation, StorageRegistry,
+    ConsensusConfig, FileStorage, KvCommand, KvStore, LinkConfig, ProcessId, ProtocolConfig,
+    Replica, SimConfig, SimDuration, SimTime, Simulation, StorageRegistry,
 };
 
 fn p(i: u32) -> ProcessId {
@@ -75,6 +76,137 @@ fn long_outage_uses_state_transfer_and_skips_rounds() {
         .map(|q| cluster.sim().actor(*q).unwrap().metrics().state_transfers_sent)
         .sum();
     assert!(served >= 1);
+}
+
+/// Pipelined recovery: a process crashes with several rounds in flight at
+/// `W = 4` and must replay *every* in-flight round from the per-instance
+/// consensus records (not just the lowest), rejoin the ordering, and end
+/// with exactly the sequence a never-crashed `W = 1` deployment delivers
+/// for the same workload.
+#[test]
+fn pipelined_recovery_replays_in_flight_rounds_and_matches_sequential_order() {
+    let workload = |protocol: ProtocolConfig, crash: bool| {
+        let mut cluster = Cluster::new(
+            ClusterConfig::basic(3)
+                .with_seed(36)
+                .with_link(LinkConfig::reliable())
+                .with_protocol(protocol),
+        );
+        let mut ids = Vec::new();
+        // Single-sender load at one message per round so the window fills.
+        for i in 0..8u8 {
+            ids.extend(cluster.broadcast(p(0), vec![i; 4]));
+            cluster.run_for(SimDuration::from_millis(1));
+        }
+        if crash {
+            // p0 goes down right after submitting: whatever rounds it has
+            // proposed-but-not-committed are its in-flight pipeline.
+            cluster.sim_mut().crash_now(p(0));
+            cluster.run_for(SimDuration::from_millis(60));
+            cluster.sim_mut().recover_now(p(0));
+        }
+        for i in 8..12u8 {
+            ids.extend(cluster.broadcast(p(1), vec![i; 4]));
+            cluster.run_for(SimDuration::from_millis(1));
+        }
+        let everyone: Vec<ProcessId> = cluster.processes().iter().collect();
+        assert!(
+            cluster.run_until_delivered(&everyone, &ids, cluster.now() + SimDuration::from_secs(60)),
+            "all messages must be delivered (crash = {crash})"
+        );
+        cluster.assert_properties();
+        (cluster.delivered(p(0)), cluster.sim().actor(p(0)).unwrap().metrics().clone())
+    };
+
+    let pipelined = ProtocolConfig::basic()
+        .with_batching(BatchingPolicy::EarlyReturn { max_batch: 1 })
+        .with_pipeline_depth(4);
+    let sequential = ProtocolConfig::basic()
+        .with_batching(BatchingPolicy::EarlyReturn { max_batch: 1 })
+        .with_pipeline_depth(1);
+
+    let (crashed_seq, crashed_metrics) = workload(pipelined, true);
+    let (reference_seq, reference_metrics) = workload(sequential, false);
+    assert_eq!(
+        crashed_seq.len(),
+        reference_seq.len(),
+        "both runs deliver the full workload"
+    );
+    assert_eq!(
+        crashed_seq, reference_seq,
+        "recovered W = 4 delivery order must match the never-crashed W = 1 run"
+    );
+    assert!(
+        crashed_metrics.max_rounds_in_flight > 1,
+        "the pipeline must have been in flight before the crash"
+    );
+    assert_eq!(reference_metrics.max_rounds_in_flight, 1);
+}
+
+/// Regression test (delayed-link simulation): consensus traffic arriving
+/// for rounds below a peer's forget watermark used to lazily recreate a
+/// fresh instance per message.  The nastiest shape is a repeatedly-crashing
+/// laggard: on every recovery it proposes/queries the stale rounds *it* is
+/// still at, which its up-to-date peers forgot long ago — each such round
+/// resurrected a proposal-less, never-decided instance at the peers that no
+/// cleanup ever removed again (`forget_decided_below` only drops *decided*
+/// instances), so peer memory grew with every outage.
+#[test]
+fn stale_queries_after_outages_do_not_resurrect_forgotten_rounds() {
+    let link = LinkConfig::lan()
+        .with_duplication(0.2)
+        .with_delay(SimDuration::from_micros(200), SimDuration::from_millis(10));
+    let protocol = ProtocolConfig::alternative()
+        .with_delta(2)
+        .with_batching(BatchingPolicy::EarlyReturn { max_batch: 2 })
+        .with_pipeline_depth(4)
+        .with_checkpoint_period(SimDuration::from_millis(30));
+    let mut cluster = Cluster::new(
+        ClusterConfig::alternative(3)
+            .with_seed(37)
+            .with_link(link)
+            .with_protocol(protocol),
+    );
+    let everyone: Vec<ProcessId> = cluster.processes().iter().collect();
+    let mut ids = Vec::new();
+    for cycle in 0..3u8 {
+        // p2 misses a stretch of rounds long enough that the survivors'
+        // checkpoint tasks forget them (retention is Δ + 4 = 6 rounds).
+        cluster.sim_mut().crash_now(p(2));
+        for i in 0..14u8 {
+            ids.extend(cluster.broadcast(p((i % 2) as u32), vec![cycle * 20 + i; 8]));
+            cluster.run_for(SimDuration::from_millis(6));
+        }
+        let survivors = [p(0), p(1)];
+        assert!(
+            cluster.run_until_delivered(&survivors, &ids, cluster.now() + SimDuration::from_secs(60)),
+            "survivors must keep ordering during outage {cycle}"
+        );
+        cluster.run_for(SimDuration::from_millis(300));
+        // p2 comes back at its pre-crash round and gossips/queries from
+        // there — rounds its peers have already discarded — until a state
+        // transfer pulls it forward.
+        cluster.sim_mut().recover_now(p(2));
+        assert!(
+            cluster.run_until_delivered(&everyone, &ids, cluster.now() + SimDuration::from_secs(60)),
+            "the laggard must catch up after outage {cycle}"
+        );
+    }
+    cluster.run_for(SimDuration::from_millis(500));
+    cluster.assert_properties();
+    for q in [p(0), p(1)] {
+        let rounds = cluster.sim().actor(q).unwrap().metrics().rounds_completed;
+        let instances = cluster.sim().actor(q).unwrap().consensus_instance_count();
+        assert!(rounds >= 18, "{q} completed only {rounds} rounds");
+        // Bounded by the retention window (Δ + 4 decided rounds) plus the
+        // open pipeline; stale instances accumulating across the three
+        // outages would blow well past this.
+        assert!(
+            instances <= 12,
+            "{q} tracks {instances} consensus instances after {rounds} rounds — \
+             stale traffic for forgotten rounds must not resurrect instances"
+        );
+    }
 }
 
 #[test]

@@ -4,7 +4,7 @@
 //! properties and the O(delta) checkpoint behaviour end to end.
 
 use crash_recovery_abcast::core::{Cluster, ClusterConfig};
-use crash_recovery_abcast::storage::StableStorage;
+use crash_recovery_abcast::storage::{StableStorage, StorageKey};
 use crash_recovery_abcast::{
     ProcessId, ProtocolConfig, SimDuration, StorageRegistry, WalStorage,
 };
@@ -165,6 +165,84 @@ fn torn_journal_tail_recovers_to_a_prefix_and_catches_up() {
         assert_eq!(cluster.delivered(q), reference, "sequences differ at {q}");
     }
     let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Crash edge of the compaction ↔ group-commit-window interaction: a
+/// compaction triggered while the window still holds an unsynced backlog
+/// must carry that pending tail into the rewritten journal, and writes
+/// landing *after* the compaction must survive a process crash too.  The
+/// rewritten journal is made durable (tmp-file sync + directory sync)
+/// before the backlog counter is cleared, so no ordering of crash and
+/// compaction can cost committed records.
+#[test]
+fn compaction_mid_group_window_keeps_the_pending_tail() {
+    let path = std::env::temp_dir().join(format!(
+        "abcast-durability-compact-window-{}-{:?}.wal",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let slot = StorageKey::new("slot");
+    let log = StorageKey::new("log");
+    {
+        // Window far larger than the commit count: no per-commit fsync
+        // ever runs, the whole run rides the group-commit backlog.
+        let s = WalStorage::open(&path)
+            .unwrap()
+            .with_group_window(10_000)
+            .with_compact_threshold(512);
+        s.append(&log, b"before-compaction").unwrap();
+        // Overwrite one slot until the journal is mostly garbage: the
+        // threshold compaction fires from inside `commit_barrier` while
+        // `unsynced_commits` is still non-zero.
+        for i in 0..200u32 {
+            s.store(&slot, &i.to_le_bytes()).unwrap();
+        }
+        assert!(s.compactions() > 0, "compaction must trigger mid-window");
+        // More commits *after* the compaction, again left unsynced.
+        s.append(&log, b"after-compaction").unwrap();
+    } // process crash: the handle is dropped without an explicit flush
+
+    let s = WalStorage::open(&path).expect("compacted journal must replay");
+    assert_eq!(
+        s.load(&slot).unwrap().unwrap(),
+        199u32.to_le_bytes(),
+        "the slot state from the unsynced window survives the compaction"
+    );
+    assert_eq!(
+        s.load_log(&log).unwrap(),
+        vec![b"before-compaction".to_vec(), b"after-compaction".to_vec()],
+        "pending log records on both sides of the compaction survive"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// An *explicit* `compact()` call (not the threshold path) in the middle of
+/// an open group-commit window behaves the same: the rewritten journal is
+/// complete and the un-fsynced tail written afterwards still replays.
+#[test]
+fn explicit_compact_with_unsynced_backlog_loses_nothing() {
+    let path = std::env::temp_dir().join(format!(
+        "abcast-durability-explicit-compact-{}-{:?}.wal",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let log = StorageKey::new("log");
+    {
+        let s = WalStorage::open(&path).unwrap().with_group_window(10_000);
+        for i in 0..20u8 {
+            s.append(&log, &[i]).unwrap();
+        }
+        assert_eq!(s.metrics().snapshot().sync_ops, 0, "backlog is open");
+        s.compact().unwrap();
+        s.append(&log, &[99]).unwrap();
+    }
+    let s = WalStorage::open(&path).unwrap();
+    let entries = s.load_log(&log).unwrap();
+    assert_eq!(entries.len(), 21);
+    assert_eq!(entries[20], vec![99]);
+    let _ = std::fs::remove_file(&path);
 }
 
 /// End to end, the periodic checkpoint write grows with the *delta* (new
