@@ -1,0 +1,26 @@
+//! Experiment binary: regenerates the E13 zero-copy codec table and emits
+//! the `BENCH_codec.json` baseline.
+//!
+//! Pass `--quick` for the reduced workload (used by CI) and `--out <path>`
+//! to choose where the JSON baseline is written (default:
+//! `BENCH_codec.json` in the current directory).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_codec.json".to_string());
+
+    let (copy_rows, pipeline_rows) = abcast_bench::experiments::e13_codec::run_rows(quick);
+    let table = abcast_bench::experiments::e13_codec::table_from_rows(&copy_rows, &pipeline_rows);
+    table.print();
+    println!("{}", table.to_markdown());
+
+    let json = abcast_bench::experiments::e13_codec::to_json(&copy_rows, &pipeline_rows, quick);
+    std::fs::write(&out, &json).expect("baseline JSON must be writable");
+    println!("baseline written to {out}");
+}

@@ -21,7 +21,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use abcast_core::{Cluster, ClusterConfig};
-use abcast_storage::StorageRegistry;
+use abcast_storage::{FileStorage, SharedStorage, StorageRegistry};
 use abcast_types::{ProcessId, ProtocolConfig, SimDuration};
 
 use crate::report::{fmt_f64, Table};
@@ -57,6 +57,11 @@ pub struct StorageRow {
 
 enum Backend {
     File,
+    /// The file backend with batch-commit sync coalescing disabled: every
+    /// operation of a step's batch pays its own barrier (the seed
+    /// behaviour).  Measured so the coalescing win is visible in the same
+    /// table.
+    FilePerOp,
     Wal,
 }
 
@@ -64,6 +69,7 @@ impl Backend {
     fn label(&self) -> &'static str {
         match self {
             Backend::File => "file",
+            Backend::FilePerOp => "file-perop",
             Backend::Wal => "wal",
         }
     }
@@ -72,6 +78,16 @@ impl Backend {
         match self {
             Backend::File => {
                 StorageRegistry::file_in(base, PROCESSES).expect("file registry opens")
+            }
+            Backend::FilePerOp => {
+                let stores = (0..PROCESSES)
+                    .map(|i| {
+                        FileStorage::open(base.join(format!("p{i}")))
+                            .map(|s| std::sync::Arc::new(s.with_per_op_batches()) as SharedStorage)
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .expect("file registry opens");
+                StorageRegistry::new(stores)
             }
             Backend::Wal => StorageRegistry::wal_in(base, PROCESSES, WAL_GROUP_WINDOW)
                 .expect("wal registry opens"),
@@ -88,6 +104,13 @@ fn temp_base(tag: &str) -> PathBuf {
 }
 
 /// Runs the measurement matrix and returns one row per combination.
+///
+/// Besides the historical `file`/`wal` × `basic`/`alternative` cluster
+/// grid (sequential rounds, tracked since PR 2), the matrix holds two
+/// `release-w8` rows: a storage-level microbench (no cluster) that commits
+/// the write shape of a log-burst step directly against the batch-aware
+/// file backend and against its per-op twin — see
+/// [`measure_release_batches`].
 pub fn run_rows(quick: bool) -> Vec<StorageRow> {
     let messages = if quick { 24 } else { 120 };
     let variants: [(&'static str, ProtocolConfig); 2] = [
@@ -95,55 +118,120 @@ pub fn run_rows(quick: bool) -> Vec<StorageRow> {
         ("alternative", ProtocolConfig::alternative()),
     ];
     let mut rows = Vec::new();
+    for backend in [Backend::FilePerOp, Backend::File] {
+        rows.push(measure_release_batches(&backend, messages));
+    }
     for backend in [Backend::File, Backend::Wal] {
         for (variant, protocol) in &variants {
-            let base = temp_base(&format!("{}-{variant}", backend.label()));
-            let _ = fs::remove_dir_all(&base);
-
-            let config = ClusterConfig::basic(PROCESSES)
-                .with_seed(1101)
-                .with_protocol(protocol.clone());
-            let mut cluster = Cluster::with_registry(config.clone(), backend.open(&base));
-            let result = drive_load(
-                &mut cluster,
-                messages,
-                32,
-                SimDuration::from_millis(5),
-                SimDuration::from_secs(60),
-            );
-            assert!(result.all_delivered, "E11 load must complete");
-            drop(cluster);
-
-            // Whole-deployment recovery: reopen every storage (the WAL
-            // replays its journal here) and reboot the cluster, which runs
-            // every process's recovery procedure.
-            let started = Instant::now();
-            let recovered = Cluster::with_registry(config, backend.open(&base));
-            let recovery_reopen_micros = started.elapsed().as_micros();
-            let replayed_rounds = recovered
-                .sim()
-                .actor(ProcessId::new(0))
-                .expect("process 0 rebooted")
-                .metrics()
-                .replayed_rounds_on_recovery;
-            drop(recovered);
-            let _ = fs::remove_dir_all(&base);
-
-            rows.push(StorageRow {
-                backend: backend.label(),
-                variant,
-                messages,
-                write_ops: result.storage.write_ops(),
-                sync_ops: result.storage.sync_ops,
-                syncs_per_msg_per_proc: result.storage.sync_ops as f64
-                    / (messages as f64 * PROCESSES as f64),
-                bytes_written: result.storage.bytes_written,
-                recovery_reopen_micros,
-                replayed_rounds,
-            });
+            rows.push(measure(&backend, variant, protocol, messages));
         }
     }
     rows
+}
+
+/// Rounds released by one microbench step.
+const RELEASE_DEPTH: usize = 8;
+
+/// Measures the write shape of a *log-burst step* directly against one
+/// storage (no cluster): each step commits, as ONE batch, a run of
+/// per-round appends — one `(k, Agreed)` delta record and one `Unordered`
+/// increment per released round, `W = 8` rounds — closed by a single slot
+/// store.  The per-op backend pays a barrier for every append; the
+/// batch-aware backend syncs each dirty *file* once when the run ends
+/// (flushing before the store, so prefix durability is preserved), which
+/// is the coalescing this PR adds.
+fn measure_release_batches(backend: &Backend, messages: usize) -> StorageRow {
+    use abcast_storage::{keys, StorageKey, WriteBatch};
+    let base = temp_base(&format!("{}-release", backend.label()));
+    let _ = fs::remove_dir_all(&base);
+    let registry = backend.open(&base);
+    let storage = registry
+        .storage_for(ProcessId::new(0))
+        .expect("registry covers process 0");
+    let steps = messages / RELEASE_DEPTH;
+    let payload = vec![0xCD_u8; 32];
+    for step in 0..steps {
+        let mut batch = WriteBatch::new();
+        for _ in 0..RELEASE_DEPTH {
+            batch.append(&keys::agreed_delta(), &payload);
+            batch.append(&keys::unordered_incremental(), &payload);
+        }
+        batch.store(
+            &StorageKey::new(format!("abcast/proposed/{step}")),
+            &payload,
+        );
+        storage
+            .commit_batch(batch)
+            .expect("release batch commits");
+    }
+    let snapshot = storage.metrics().snapshot();
+    let row = StorageRow {
+        backend: backend.label(),
+        variant: "release-w8",
+        messages,
+        write_ops: snapshot.store_ops + snapshot.append_ops,
+        sync_ops: snapshot.sync_ops,
+        syncs_per_msg_per_proc: snapshot.sync_ops as f64 / messages as f64,
+        bytes_written: snapshot.bytes_written,
+        recovery_reopen_micros: 0,
+        replayed_rounds: 0,
+    };
+    drop(storage);
+    let _ = fs::remove_dir_all(&base);
+    row
+}
+
+/// Runs one backend × protocol combination and measures it.
+fn measure(
+    backend: &Backend,
+    variant: &'static str,
+    protocol: &ProtocolConfig,
+    messages: usize,
+) -> StorageRow {
+    let base = temp_base(&format!("{}-{variant}", backend.label()));
+    let _ = fs::remove_dir_all(&base);
+
+    let config = ClusterConfig::basic(PROCESSES)
+        .with_seed(1101)
+        .with_protocol(protocol.clone());
+    let mut cluster = Cluster::with_registry(config.clone(), backend.open(&base));
+    let result = drive_load(
+        &mut cluster,
+        messages,
+        32,
+        SimDuration::from_millis(5),
+        SimDuration::from_secs(60),
+    );
+    assert!(result.all_delivered, "E11 load must complete");
+    drop(cluster);
+
+    // Whole-deployment recovery: reopen every storage (the WAL
+    // replays its journal here) and reboot the cluster, which runs
+    // every process's recovery procedure.
+    let started = Instant::now();
+    let recovered = Cluster::with_registry(config, backend.open(&base));
+    let recovery_reopen_micros = started.elapsed().as_micros();
+    let replayed_rounds = recovered
+        .sim()
+        .actor(ProcessId::new(0))
+        .expect("process 0 rebooted")
+        .metrics()
+        .replayed_rounds_on_recovery;
+    drop(recovered);
+    let _ = fs::remove_dir_all(&base);
+
+    StorageRow {
+        backend: backend.label(),
+        variant,
+        messages,
+        write_ops: result.storage.write_ops(),
+        sync_ops: result.storage.sync_ops,
+        syncs_per_msg_per_proc: result.storage.sync_ops as f64
+            / (messages as f64 * PROCESSES as f64),
+        bytes_written: result.storage.bytes_written,
+        recovery_reopen_micros,
+        replayed_rounds,
+    }
 }
 
 /// Runs the experiment and renders its table.
@@ -194,6 +282,12 @@ pub fn table_from_rows(rows: &[StorageRow]) -> Table {
         "checkpoints are O(delta) on both backends: the periodic (k, Agreed) write appends \
          only the messages delivered since the previous checkpoint",
     );
+    table.note(format!(
+        "release-w8 commits a log-burst step (a run of {RELEASE_DEPTH} delta + {RELEASE_DEPTH} \
+         unordered appends, then one slot store) as one batch; file-perop pays a barrier per \
+         append, file (batch-aware) syncs each dirty file once per run, flushed before the \
+         store so prefix durability is preserved"
+    ));
     table
 }
 
@@ -258,7 +352,7 @@ mod tests {
     #[test]
     fn wal_group_commit_cuts_fsyncs_at_least_3x_for_the_alternative_variant() {
         let rows = run_rows(true);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 6);
         let ratio = syncs_ratio(&rows, "alternative")
             .expect("both backends measured for the alternative variant");
         assert!(
@@ -269,9 +363,26 @@ mod tests {
         // The table and the JSON baseline render without panicking and
         // carry every row.
         let table = table_from_rows(&rows);
-        assert_eq!(table.len(), 4);
+        assert_eq!(table.len(), 6);
         let json = to_json(&rows, true);
         assert!(json.contains("\"experiment\": \"E11\""));
-        assert_eq!(json.matches("\"backend\"").count(), 4);
+        assert_eq!(json.matches("\"backend\"").count(), 6);
+    }
+
+    #[test]
+    fn batch_aware_file_backend_coalesces_release_step_fsyncs_at_least_2x() {
+        let rows = run_rows(true);
+        let per_msg = |backend: &str| {
+            rows.iter()
+                .find(|r| r.backend == backend && r.variant == "release-w8")
+                .map(|r| r.syncs_per_msg_per_proc)
+                .expect("release-w8 measured for both file backends")
+        };
+        let ratio = per_msg("file-perop") / per_msg("file");
+        assert!(
+            ratio >= 2.0,
+            "coalescing must cut the release-step fsyncs at least 2x \
+             (measured {ratio:.2}x, rows: {rows:?})"
+        );
     }
 }

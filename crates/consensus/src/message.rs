@@ -7,6 +7,7 @@
 //! can wrap.
 
 use abcast_fd::FdMessage;
+use abcast_types::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use abcast_types::{Ballot, Round};
 
 /// Protocol messages of one consensus instance.
@@ -109,10 +110,159 @@ impl<V> ConsensusMsg<V> {
     }
 }
 
+// Wire-frame tags of [`InstanceMsg`].
+const TAG_PREPARE: u8 = 0;
+const TAG_PROMISE: u8 = 1;
+const TAG_ACCEPT_REQUEST: u8 = 2;
+const TAG_ACCEPTED: u8 = 3;
+const TAG_NACK: u8 = 4;
+const TAG_DECIDED: u8 = 5;
+const TAG_QUERY: u8 = 6;
+
+impl<V: Encode> Encode for InstanceMsg<V> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            InstanceMsg::Prepare { ballot } => {
+                enc.put_u8(TAG_PREPARE);
+                ballot.encode(enc);
+            }
+            InstanceMsg::Promise { ballot, accepted } => {
+                enc.put_u8(TAG_PROMISE);
+                ballot.encode(enc);
+                accepted.encode(enc);
+            }
+            InstanceMsg::AcceptRequest { ballot, value } => {
+                enc.put_u8(TAG_ACCEPT_REQUEST);
+                ballot.encode(enc);
+                value.encode(enc);
+            }
+            InstanceMsg::Accepted { ballot } => {
+                enc.put_u8(TAG_ACCEPTED);
+                ballot.encode(enc);
+            }
+            InstanceMsg::Nack { ballot, promised } => {
+                enc.put_u8(TAG_NACK);
+                ballot.encode(enc);
+                promised.encode(enc);
+            }
+            InstanceMsg::Decided { value } => {
+                enc.put_u8(TAG_DECIDED);
+                value.encode(enc);
+            }
+            InstanceMsg::Query => enc.put_u8(TAG_QUERY),
+        }
+    }
+}
+
+impl<V: Decode> Decode for InstanceMsg<V> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.take_u8()? {
+            TAG_PREPARE => InstanceMsg::Prepare {
+                ballot: Ballot::decode(dec)?,
+            },
+            TAG_PROMISE => InstanceMsg::Promise {
+                ballot: Ballot::decode(dec)?,
+                accepted: Option::<(Ballot, V)>::decode(dec)?,
+            },
+            TAG_ACCEPT_REQUEST => InstanceMsg::AcceptRequest {
+                ballot: Ballot::decode(dec)?,
+                value: V::decode(dec)?,
+            },
+            TAG_ACCEPTED => InstanceMsg::Accepted {
+                ballot: Ballot::decode(dec)?,
+            },
+            TAG_NACK => InstanceMsg::Nack {
+                ballot: Ballot::decode(dec)?,
+                promised: Ballot::decode(dec)?,
+            },
+            TAG_DECIDED => InstanceMsg::Decided {
+                value: V::decode(dec)?,
+            },
+            TAG_QUERY => InstanceMsg::Query,
+            other => {
+                return Err(DecodeError::invalid(format!(
+                    "unknown InstanceMsg tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl<V: Encode> Encode for ConsensusMsg<V> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ConsensusMsg::Fd(fd) => {
+                enc.put_u8(0);
+                fd.encode(enc);
+            }
+            ConsensusMsg::Instance { instance, msg } => {
+                enc.put_u8(1);
+                instance.encode(enc);
+                msg.encode(enc);
+            }
+        }
+    }
+}
+
+impl<V: Decode> Decode for ConsensusMsg<V> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.take_u8()? {
+            0 => ConsensusMsg::Fd(FdMessage::decode(dec)?),
+            1 => ConsensusMsg::Instance {
+                instance: Round::decode(dec)?,
+                msg: InstanceMsg::decode(dec)?,
+            },
+            other => {
+                return Err(DecodeError::invalid(format!(
+                    "unknown ConsensusMsg tag {other}"
+                )))
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use abcast_types::ProcessId;
+
+    #[test]
+    fn consensus_messages_round_trip_through_the_codec() {
+        use abcast_types::codec::{from_bytes, to_bytes};
+        let b = Ballot::new(3, ProcessId::new(1));
+        let msgs: Vec<ConsensusMsg<Vec<u64>>> = vec![
+            ConsensusMsg::Fd(FdMessage::Heartbeat { epoch: 9 }),
+            ConsensusMsg::instance(Round::new(4), InstanceMsg::Prepare { ballot: b }),
+            ConsensusMsg::instance(
+                Round::new(4),
+                InstanceMsg::Promise {
+                    ballot: b,
+                    accepted: Some((b, vec![1, 2, 3])),
+                },
+            ),
+            ConsensusMsg::instance(
+                Round::new(5),
+                InstanceMsg::AcceptRequest {
+                    ballot: b,
+                    value: vec![7],
+                },
+            ),
+            ConsensusMsg::instance(Round::new(5), InstanceMsg::Accepted { ballot: b }),
+            ConsensusMsg::instance(
+                Round::new(6),
+                InstanceMsg::Nack {
+                    ballot: b,
+                    promised: Ballot::new(4, ProcessId::new(2)),
+                },
+            ),
+            ConsensusMsg::instance(Round::new(6), InstanceMsg::Decided { value: vec![] }),
+            ConsensusMsg::instance(Round::new(7), InstanceMsg::Query),
+        ];
+        for msg in msgs {
+            let back: ConsensusMsg<Vec<u64>> = from_bytes(&to_bytes(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
 
     #[test]
     fn kinds_are_stable_labels() {

@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 
 use abcast_consensus::ConsensusConfig;
-use abcast_net::LinkConfig;
+use abcast_net::{FramedActor, LinkConfig};
 use abcast_sim::{FaultPlan, SimConfig, SimStats, Simulation};
 use abcast_storage::{StorageRegistry, StorageSnapshot};
 use abcast_types::{
@@ -82,9 +82,19 @@ impl ClusterConfig {
     }
 }
 
-/// A simulated deployment of [`AtomicBroadcast`] processes.
+/// The actor type a [`Cluster`] deploys: the protocol behind a byte wire.
+///
+/// Every message between cluster processes is encoded into a length-exact
+/// [`bytes::Bytes`] frame at the sender and decoded zero-copy at the
+/// receiver (payloads of the decoded message are refcounted views of the
+/// frame).  [`FramedActor`] derefs to [`AtomicBroadcast`], so inspection
+/// code reads through it transparently.
+pub type FramedAbcast = FramedActor<AtomicBroadcast>;
+
+/// A simulated deployment of [`AtomicBroadcast`] processes speaking byte
+/// frames.
 pub struct Cluster {
-    sim: Simulation<AtomicBroadcast>,
+    sim: Simulation<FramedAbcast>,
     broadcast_ids: BTreeSet<MsgId>,
 }
 
@@ -109,7 +119,9 @@ impl Cluster {
                 link: config.link.clone(),
             },
             storage,
-            move |_p, _storage| AtomicBroadcast::new(protocol.clone(), consensus.clone()),
+            move |_p, _storage| {
+                FramedActor::new(AtomicBroadcast::new(protocol.clone(), consensus.clone()))
+            },
         );
         Cluster {
             sim,
@@ -119,13 +131,24 @@ impl Cluster {
 
     /// The underlying simulation (for fault injection, link manipulation,
     /// storage inspection and custom predicates).
-    pub fn sim(&self) -> &Simulation<AtomicBroadcast> {
+    pub fn sim(&self) -> &Simulation<FramedAbcast> {
         &self.sim
     }
 
     /// Mutable access to the underlying simulation.
-    pub fn sim_mut(&mut self) -> &mut Simulation<AtomicBroadcast> {
+    pub fn sim_mut(&mut self) -> &mut Simulation<FramedAbcast> {
         &mut self.sim
+    }
+
+    /// Total wire frames received that failed to decode, across all
+    /// currently-up processes.  Zero in any healthy run.
+    pub fn decode_failures(&self) -> u64 {
+        self.sim
+            .processes()
+            .iter()
+            .filter_map(|p| self.sim.actor(p))
+            .map(FramedAbcast::decode_failures)
+            .sum()
     }
 
     /// The set of processes.
@@ -137,9 +160,9 @@ impl Cluster {
     /// assigned identity, or `None` if `p` is currently down.
     pub fn broadcast(&mut self, p: ProcessId, payload: impl Into<Vec<u8>>) -> Option<MsgId> {
         let payload = payload.into();
-        let id = self
-            .sim
-            .with_actor_mut(p, |actor, ctx| actor.a_broadcast(payload, ctx))?;
+        let id = self.sim.with_actor_mut(p, |actor, ctx| {
+            actor.with_inner_ctx(ctx, |inner, ctx| inner.a_broadcast(payload, ctx))
+        })?;
         self.broadcast_ids.insert(id);
         Some(id)
     }
@@ -213,7 +236,7 @@ impl Cluster {
 
     /// The delivery sequence of process `p` (`None` while it is down).
     pub fn agreed(&self, p: ProcessId) -> Option<&AgreedQueue> {
-        self.sim.actor(p).map(AtomicBroadcast::agreed)
+        self.sim.actor(p).map(|a| a.inner().agreed())
     }
 
     /// The explicitly delivered messages of `p`.
@@ -256,7 +279,7 @@ impl Cluster {
             .sim
             .processes()
             .iter()
-            .filter_map(|p| self.sim.actor(p).map(AtomicBroadcast::agreed))
+            .filter_map(|p| self.sim.actor(p).map(|a| a.inner().agreed()))
             .collect();
         let good_indices: Vec<usize> = good.iter().map(|p| p.index()).collect();
         check_all(&queues, &good_indices, &self.broadcast_ids, must_deliver)
@@ -406,6 +429,78 @@ mod tests {
             pipe_peak >= 2,
             "the pipelined run must actually overlap rounds (peak {pipe_peak})"
         );
+    }
+
+    #[test]
+    fn framed_wire_reproduces_the_typed_run_bit_for_bit() {
+        // The same workload, same seed, same lossy link — once with actors
+        // exchanging typed `AbcastMsg` values directly (the pre-frame
+        // transport) and once through the byte-framed cluster.  Delivery
+        // order, checkpoints and the persisted `(k, Agreed)` delta records
+        // must be byte-for-byte identical: the frame codec and the
+        // zero-copy payload path may not change one observable bit.
+        use abcast_storage::keys;
+        use abcast_types::SimDuration;
+        let protocol = ProtocolConfig::alternative().with_delta(3);
+        let consensus = ConsensusConfig::crash_recovery();
+
+        let typed_storage = StorageRegistry::in_memory(3);
+        let mut typed = abcast_sim::Simulation::with_storage(
+            abcast_sim::SimConfig {
+                processes: 3,
+                seed: 77,
+                link: LinkConfig::lan(),
+            },
+            typed_storage.clone(),
+            {
+                let (protocol, consensus) = (protocol.clone(), consensus.clone());
+                move |_p, _s| AtomicBroadcast::new(protocol.clone(), consensus.clone())
+            },
+        );
+
+        let framed_storage = StorageRegistry::in_memory(3);
+        let mut framed = Cluster::with_registry(
+            ClusterConfig {
+                processes: 3,
+                seed: 77,
+                link: LinkConfig::lan(),
+                protocol,
+                consensus,
+            },
+            framed_storage.clone(),
+        );
+
+        for i in 0..10u8 {
+            let sender = p(u32::from(i) % 3);
+            typed.with_actor_mut(sender, |a, ctx| a.a_broadcast(vec![i; 8], ctx));
+            framed.broadcast(sender, vec![i; 8]);
+            typed.run_for(SimDuration::from_millis(7));
+            framed.run_for(SimDuration::from_millis(7));
+        }
+        typed.run_for(SimDuration::from_secs(3));
+        framed.run_for(SimDuration::from_secs(3));
+
+        for q in [p(0), p(1), p(2)] {
+            assert_eq!(
+                typed.actor(q).unwrap().agreed(),
+                framed.agreed(q).unwrap(),
+                "delivery sequence of {q} differs between typed and framed runs"
+            );
+            let t = typed_storage.storage_for(q).unwrap();
+            let f = framed_storage.storage_for(q).unwrap();
+            assert_eq!(
+                t.load(&keys::agreed_checkpoint()).unwrap(),
+                f.load(&keys::agreed_checkpoint()).unwrap(),
+                "persisted (k, Agreed) checkpoint of {q} differs"
+            );
+            assert_eq!(
+                t.load_log(&keys::agreed_delta()).unwrap(),
+                f.load_log(&keys::agreed_delta()).unwrap(),
+                "persisted delta records of {q} differ"
+            );
+        }
+        assert_eq!(framed.decode_failures(), 0);
+        framed.assert_properties();
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod properties;
 pub mod protocol;
 pub mod queues;
 
-pub use harness::{Cluster, ClusterConfig};
+pub use harness::{Cluster, ClusterConfig, FramedAbcast};
 pub use message::AbcastMsg;
 pub use properties::{
     check_all, check_integrity, check_termination, check_total_order,

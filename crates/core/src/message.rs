@@ -9,6 +9,7 @@
 //! * the consensus substrate's own messages, wrapped verbatim.
 
 use abcast_consensus::ConsensusMsg;
+use abcast_types::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use abcast_types::{AppMessage, Round};
 
 use crate::queues::{AgreedQueue, Batch};
@@ -87,11 +88,185 @@ impl AbcastMsg {
     }
 }
 
+// Wire-frame tags of [`AbcastMsg`].
+const TAG_GOSSIP: u8 = 0;
+const TAG_STATE: u8 = 1;
+const TAG_STATE_SUFFIX: u8 = 2;
+const TAG_CONSENSUS: u8 = 3;
+
+impl Encode for AbcastMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            AbcastMsg::Gossip { round, unordered } => {
+                enc.put_u8(TAG_GOSSIP);
+                round.encode(enc);
+                unordered.encode(enc);
+            }
+            AbcastMsg::State { round, agreed } => {
+                enc.put_u8(TAG_STATE);
+                round.encode(enc);
+                agreed.encode(enc);
+            }
+            AbcastMsg::StateSuffix {
+                round,
+                from_count,
+                messages,
+            } => {
+                enc.put_u8(TAG_STATE_SUFFIX);
+                round.encode(enc);
+                enc.put_u64(*from_count);
+                messages.encode(enc);
+            }
+            AbcastMsg::Consensus(inner) => {
+                enc.put_u8(TAG_CONSENSUS);
+                inner.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for AbcastMsg {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.take_u8()? {
+            TAG_GOSSIP => AbcastMsg::Gossip {
+                round: Round::decode(dec)?,
+                unordered: Vec::<AppMessage>::decode(dec)?,
+            },
+            TAG_STATE => AbcastMsg::State {
+                round: Round::decode(dec)?,
+                agreed: AgreedQueue::decode(dec)?,
+            },
+            TAG_STATE_SUFFIX => AbcastMsg::StateSuffix {
+                round: Round::decode(dec)?,
+                from_count: dec.take_u64()?,
+                messages: Vec::<AppMessage>::decode(dec)?,
+            },
+            TAG_CONSENSUS => AbcastMsg::Consensus(ConsensusMsg::decode(dec)?),
+            other => {
+                return Err(DecodeError::invalid(format!(
+                    "unknown AbcastMsg tag {other}"
+                )))
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use abcast_consensus::InstanceMsg;
     use abcast_types::ProcessId;
+
+    #[test]
+    fn wire_messages_round_trip_through_the_codec() {
+        use abcast_types::codec::{from_payload, to_payload};
+        let msg = |p: u32, s: u64| AppMessage::from_parts(ProcessId::new(p), s, vec![s as u8; 8]);
+        let mut agreed = AgreedQueue::new();
+        agreed.append_batch(&[msg(0, 0), msg(1, 0)]);
+        let samples = vec![
+            AbcastMsg::Gossip {
+                round: Round::new(3),
+                unordered: vec![msg(0, 1), msg(2, 5)],
+            },
+            AbcastMsg::State {
+                round: Round::new(5),
+                agreed,
+            },
+            AbcastMsg::StateSuffix {
+                round: Round::new(7),
+                from_count: 2,
+                messages: vec![msg(1, 1)],
+            },
+            AbcastMsg::Consensus(ConsensusMsg::instance(
+                Round::new(1),
+                InstanceMsg::Decided {
+                    value: vec![msg(0, 2)],
+                },
+            )),
+        ];
+        for sample in samples {
+            let frame = to_payload(&sample);
+            let back: AbcastMsg = from_payload(&frame).unwrap();
+            assert_eq!(back, sample);
+        }
+    }
+
+    #[test]
+    fn decoded_gossip_payloads_are_views_of_the_frame() {
+        use abcast_types::codec::{from_payload, to_payload};
+        let m = AppMessage::from_parts(ProcessId::new(0), 9, vec![0xAB; 32]);
+        let frame = to_payload(&AbcastMsg::Gossip {
+            round: Round::new(1),
+            unordered: vec![m.clone()],
+        });
+        let back: AbcastMsg = from_payload(&frame).unwrap();
+        let AbcastMsg::Gossip { unordered, .. } = back else {
+            unreachable!()
+        };
+        assert_eq!(unordered[0], m);
+        assert!(
+            unordered[0].payload().shares_allocation_with(&frame),
+            "a decoded payload must be a zero-copy slice of the frame"
+        );
+    }
+
+    #[test]
+    fn hot_path_frames_are_presized_exactly_and_never_reallocate() {
+        use abcast_types::codec::{Encode, Encoder};
+        // A gossip frame carrying a realistic unordered set is the hot
+        // wire path; its encoder is sized by encoded_len and must neither
+        // grow nor over-allocate.
+        let unordered: Vec<AppMessage> = (0..32)
+            .map(|i| AppMessage::from_parts(ProcessId::new(i % 3), u64::from(i), vec![i as u8; 64]))
+            .collect();
+        let samples = vec![
+            AbcastMsg::Gossip {
+                round: Round::new(12),
+                unordered,
+            },
+            AbcastMsg::Consensus(ConsensusMsg::instance(
+                Round::new(3),
+                InstanceMsg::AcceptRequest {
+                    ballot: abcast_types::Ballot::new(1, ProcessId::new(0)),
+                    value: vec![AppMessage::from_parts(ProcessId::new(0), 7, vec![1u8; 128])],
+                },
+            )),
+        ];
+        for sample in samples {
+            let expected = sample.encoded_len();
+            let mut enc = Encoder::with_capacity(expected);
+            sample.encode(&mut enc);
+            assert_eq!(enc.len(), expected, "encoded_len must be exact");
+            assert!(
+                !enc.reallocated(),
+                "a presized hot-path encoder must never reallocate mid-encode"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_torn_wire_frames_never_panic_and_never_misdecode(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(proptest::prelude::any::<u8>(), 0..32), 1..6),
+            cut_fraction in 0.0f64..1.0) {
+            use abcast_types::codec::{from_payload, to_payload};
+            let unordered: Vec<AppMessage> = payloads
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| AppMessage::from_parts(ProcessId::new(0), i as u64, p))
+                .collect();
+            let msg = AbcastMsg::Gossip { round: Round::new(4), unordered };
+            let frame = to_payload(&msg);
+            // The intact frame round-trips...
+            proptest::prop_assert_eq!(from_payload::<AbcastMsg>(&frame).unwrap(), msg);
+            // ...and any strict prefix decodes to an error, never a panic
+            // and never a silently wrong message.
+            let cut = ((frame.len() as f64 * cut_fraction) as usize).min(frame.len() - 1);
+            let torn = frame.slice(..cut);
+            proptest::prop_assert!(from_payload::<AbcastMsg>(&torn).is_err());
+        }
+    }
 
     #[test]
     fn kinds_and_predicates() {

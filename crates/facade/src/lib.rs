@@ -40,9 +40,10 @@ pub use abcast_storage as storage;
 pub use abcast_types as types;
 
 pub use abcast_core::{
-    AtomicBroadcast, Cluster, ClusterConfig, ConsensusConfig, DeliveryEvent, ProtocolConfig,
+    AtomicBroadcast, Cluster, ClusterConfig, ConsensusConfig, DeliveryEvent, FramedAbcast,
+    ProtocolConfig,
 };
-pub use abcast_net::{Actor, ActorContext, LinkConfig, ThreadRuntime, TimerId};
+pub use abcast_net::{Actor, ActorContext, FramedActor, LinkConfig, ThreadRuntime, TimerId};
 pub use abcast_replication::{Bank, CertifyingDatabase, KvCommand, KvStore, Replica, Transaction};
 pub use abcast_sim::{FaultPlan, SimConfig, Simulation};
 pub use abcast_storage::{

@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 
 use abcast_net::{ActorContext, TimerId};
 use abcast_storage::{StorageKey, TypedStorageExt};
+use abcast_types::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
 use abcast_types::{ProcessId, SimDuration, SimTime};
 
 /// Wire message of the heartbeat failure detector.
@@ -42,6 +43,30 @@ pub enum FdMessage {
         /// recovery).
         epoch: u64,
     },
+}
+
+impl Encode for FdMessage {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            FdMessage::Heartbeat { epoch } => {
+                enc.put_u8(0);
+                enc.put_u64(*epoch);
+            }
+        }
+    }
+}
+
+impl Decode for FdMessage {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(FdMessage::Heartbeat {
+                epoch: dec.take_u64()?,
+            }),
+            other => Err(DecodeError::invalid(format!(
+                "unknown FdMessage tag {other}"
+            ))),
+        }
+    }
 }
 
 /// Timer used by the detector (inside its own timer namespace).

@@ -15,6 +15,10 @@
 //! * [`StepContext`] / [`run_step`] — per-step write batching: one
 //!   durability barrier per handler invocation, messages held back until
 //!   the commit (group commit with write-ahead ordering preserved);
+//! * [`encode_frame`] / [`decode_frame`] / [`FramedActor`] — byte-level
+//!   wire framing: length-exact frame encoding, zero-copy frame decoding,
+//!   and the adapter that runs any codec-capable actor over `Bytes`
+//!   frames;
 //! * [`LinkConfig`] / [`LinkModel`] — the fair-lossy link model (loss,
 //!   duplication, arbitrary delay, partitions);
 //! * [`ThreadRuntime`] — a live, one-thread-per-process runtime used by the
@@ -26,6 +30,7 @@
 
 pub mod actor;
 pub mod batch;
+pub mod frame;
 pub mod link;
 pub mod metrics;
 pub mod runtime;
@@ -33,6 +38,7 @@ pub mod testkit;
 
 pub use actor::{Actor, ActorContext, ActorFactory, MappedContext, TimerId};
 pub use batch::{run_step, StepContext};
+pub use frame::{decode_frame, encode_frame, FramedActor};
 pub use link::{LinkConfig, LinkModel, PlannedDelivery};
 pub use metrics::{NetworkMetrics, NetworkSnapshot};
 pub use runtime::{RuntimeConfig, ThreadRuntime};

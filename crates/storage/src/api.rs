@@ -22,6 +22,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 use abcast_types::{AbcastError, ProcessId, Result};
 
 use crate::batch::{BatchOp, WriteBatch};
@@ -86,13 +88,20 @@ pub trait StableStorage: Send + Sync {
     fn store(&self, key: &StorageKey, value: &[u8]) -> Result<()>;
 
     /// Reads the slot `key`, or `None` if it was never stored.
-    fn load(&self, key: &StorageKey) -> Result<Option<Vec<u8>>>;
+    ///
+    /// The returned buffer is a refcounted view: backends with an
+    /// in-memory image (memory, WAL) hand out a cheap clone of it, and the
+    /// file backend hands out a slice of the single read buffer — no
+    /// backend re-materializes the record.
+    fn load(&self, key: &StorageKey) -> Result<Option<Bytes>>;
 
     /// Appends one record to the log `key`.
     fn append(&self, key: &StorageKey, value: &[u8]) -> Result<()>;
 
     /// Reads every record ever appended to the log `key`, in append order.
-    fn load_log(&self, key: &StorageKey) -> Result<Vec<Vec<u8>>>;
+    /// Like [`StableStorage::load`], records are zero-copy views of the
+    /// backend's buffer.
+    fn load_log(&self, key: &StorageKey) -> Result<Vec<Bytes>>;
 
     /// Removes the slot or log `key` (used by log truncation, Section 5.2).
     fn remove(&self, key: &StorageKey) -> Result<()>;

@@ -15,15 +15,20 @@
 //! into a pending batch (reads see the staged state), and the owner commits
 //! the accumulated batch at the end of the step.
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
-use abcast_types::codec::{to_bytes, Encode};
+use abcast_types::codec::{to_payload, Encode};
 use abcast_types::Result;
 
 use crate::api::{SharedStorage, StableStorage, StorageKey};
 use crate::metrics::StorageMetrics;
 
 /// One staged stable-storage mutation.
+///
+/// Values are refcounted [`Bytes`]: staging a payload that already lives in
+/// a `Bytes` buffer (a decoded wire frame, an encoded record) moves a view,
+/// not the bytes.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BatchOp {
     /// Overwrite the slot `key` with `value`.
@@ -31,14 +36,14 @@ pub enum BatchOp {
         /// Slot to overwrite.
         key: StorageKey,
         /// New value of the slot.
-        value: Vec<u8>,
+        value: Bytes,
     },
     /// Append `value` to the log `key`.
     Append {
         /// Log to extend.
         key: StorageKey,
         /// Record to append.
-        value: Vec<u8>,
+        value: Bytes,
     },
     /// Remove the slot or log `key`.
     Remove {
@@ -88,19 +93,34 @@ impl WriteBatch {
         WriteBatch::default()
     }
 
-    /// Stages an overwrite of the slot `key`.
+    /// Stages an overwrite of the slot `key` (the bytes are copied into a
+    /// fresh buffer; use [`WriteBatch::store_payload`] for a zero-copy
+    /// staging of an existing `Bytes`).
     pub fn store(&mut self, key: &StorageKey, value: &[u8]) {
+        self.store_payload(key, Bytes::copy_from_slice(value));
+    }
+
+    /// Stages an overwrite of the slot `key` with an existing refcounted
+    /// buffer — no copy.
+    pub fn store_payload(&mut self, key: &StorageKey, value: Bytes) {
         self.ops.push(BatchOp::Store {
             key: key.clone(),
-            value: value.to_vec(),
+            value,
         });
     }
 
-    /// Stages an append to the log `key`.
+    /// Stages an append to the log `key` (copies; see
+    /// [`WriteBatch::append_payload`]).
     pub fn append(&mut self, key: &StorageKey, value: &[u8]) {
+        self.append_payload(key, Bytes::copy_from_slice(value));
+    }
+
+    /// Stages an append to the log `key` of an existing refcounted buffer
+    /// — no copy.
+    pub fn append_payload(&mut self, key: &StorageKey, value: Bytes) {
         self.ops.push(BatchOp::Append {
             key: key.clone(),
-            value: value.to_vec(),
+            value,
         });
     }
 
@@ -114,7 +134,7 @@ impl WriteBatch {
     pub fn store_value<T: Encode + ?Sized>(&mut self, key: &StorageKey, value: &T) {
         self.ops.push(BatchOp::Store {
             key: key.clone(),
-            value: to_bytes(value),
+            value: to_payload(value),
         });
     }
 
@@ -123,7 +143,7 @@ impl WriteBatch {
     pub fn append_value<T: Encode + ?Sized>(&mut self, key: &StorageKey, value: &T) {
         self.ops.push(BatchOp::Append {
             key: key.clone(),
-            value: to_bytes(value),
+            value: to_payload(value),
         });
     }
 
@@ -209,7 +229,7 @@ impl StableStorage for StagedStorage {
         Ok(())
     }
 
-    fn load(&self, key: &StorageKey) -> Result<Option<Vec<u8>>> {
+    fn load(&self, key: &StorageKey) -> Result<Option<Bytes>> {
         // The most recent staged mutation of the slot wins.
         let pending = self.pending.lock();
         for op in pending.ops().iter().rev() {
@@ -228,11 +248,11 @@ impl StableStorage for StagedStorage {
         Ok(())
     }
 
-    fn load_log(&self, key: &StorageKey) -> Result<Vec<Vec<u8>>> {
+    fn load_log(&self, key: &StorageKey) -> Result<Vec<Bytes>> {
         // Replay staged removals and appends on top of the durable log.
         let pending = self.pending.lock();
         let mut removed = false;
-        let mut appended: Vec<Vec<u8>> = Vec::new();
+        let mut appended: Vec<Bytes> = Vec::new();
         for op in pending.ops() {
             match op {
                 BatchOp::Append { key: k, value } if k == key => appended.push(value.clone()),

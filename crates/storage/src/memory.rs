@@ -9,9 +9,10 @@
 
 use std::collections::BTreeMap;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
-use abcast_types::Result;
+use abcast_types::{copymeter, Result};
 
 use crate::api::{StableStorage, StorageKey};
 use crate::batch::{BatchOp, WriteBatch};
@@ -19,8 +20,8 @@ use crate::metrics::StorageMetrics;
 
 #[derive(Debug, Default)]
 struct Records {
-    slots: BTreeMap<StorageKey, Vec<u8>>,
-    logs: BTreeMap<StorageKey, Vec<Vec<u8>>>,
+    slots: BTreeMap<StorageKey, Bytes>,
+    logs: BTreeMap<StorageKey, Vec<Bytes>>,
 }
 
 /// Crash-surviving, lock-protected, in-memory stable storage.
@@ -64,17 +65,22 @@ impl InMemoryStorage {
 impl StableStorage for InMemoryStorage {
     fn store(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
         let mut records = self.records.lock();
-        records.slots.insert(key.clone(), value.to_vec());
+        records
+            .slots
+            .insert(key.clone(), Bytes::copy_from_slice(value));
         self.metrics.record_store(value.len());
         self.metrics.record_sync();
         Ok(())
     }
 
-    fn load(&self, key: &StorageKey) -> Result<Option<Vec<u8>>> {
+    fn load(&self, key: &StorageKey) -> Result<Option<Bytes>> {
         let records = self.records.lock();
-        let value = records.slots.get(key).cloned();
+        // A load is a refcounted view of the stored record, not a copy
+        // (`copymeter::loan` re-materializes it only in the eager-copy
+        // baseline mode of experiment E13).
+        let value = records.slots.get(key).map(copymeter::loan);
         self.metrics
-            .record_load(value.as_ref().map(Vec::len).unwrap_or(0));
+            .record_load(value.as_ref().map(Bytes::len).unwrap_or(0));
         Ok(value)
     }
 
@@ -84,17 +90,21 @@ impl StableStorage for InMemoryStorage {
             .logs
             .entry(key.clone())
             .or_default()
-            .push(value.to_vec());
+            .push(Bytes::copy_from_slice(value));
         self.metrics.record_append(value.len());
         self.metrics.record_sync();
         Ok(())
     }
 
-    fn load_log(&self, key: &StorageKey) -> Result<Vec<Vec<u8>>> {
+    fn load_log(&self, key: &StorageKey) -> Result<Vec<Bytes>> {
         let records = self.records.lock();
-        let entries = records.logs.get(key).cloned().unwrap_or_default();
+        let entries: Vec<Bytes> = records
+            .logs
+            .get(key)
+            .map(|entries| entries.iter().map(copymeter::loan).collect())
+            .unwrap_or_default();
         self.metrics
-            .record_load(entries.iter().map(Vec::len).sum());
+            .record_load(entries.iter().map(Bytes::len).sum());
         Ok(entries)
     }
 
@@ -154,11 +164,11 @@ impl StableStorage for InMemoryStorage {
 
     fn footprint_bytes(&self) -> u64 {
         let records = self.records.lock();
-        let slot_bytes: usize = records.slots.values().map(Vec::len).sum();
+        let slot_bytes: usize = records.slots.values().map(Bytes::len).sum();
         let log_bytes: usize = records
             .logs
             .values()
-            .flat_map(|entries| entries.iter().map(Vec::len))
+            .flat_map(|entries| entries.iter().map(Bytes::len))
             .sum();
         (slot_bytes + log_bytes) as u64
     }
@@ -290,7 +300,7 @@ mod tests {
                     }
                     _ => {
                         let got = s.load(&k).unwrap();
-                        prop_assert_eq!(got, model.get(&name).cloned());
+                        prop_assert_eq!(got, model.get(&name).cloned().map(Bytes::from));
                     }
                 }
             }

@@ -13,7 +13,7 @@
 //! assert_eq!(round, Some(7));
 //! ```
 
-use abcast_types::codec::{from_bytes, to_bytes, Decode, Encode};
+use abcast_types::codec::{from_payload, to_payload, Decode, Encode};
 use abcast_types::Result;
 
 use crate::api::{StableStorage, StorageKey};
@@ -37,24 +37,27 @@ pub trait TypedStorageExt {
 
 impl<S: StableStorage + ?Sized> TypedStorageExt for S {
     fn store_value<T: Encode + ?Sized>(&self, key: &StorageKey, value: &T) -> Result<()> {
-        self.store(key, &to_bytes(value))
+        self.store(key, &to_payload(value))
     }
 
     fn load_value<T: Decode>(&self, key: &StorageKey) -> Result<Option<T>> {
         match self.load(key)? {
             None => Ok(None),
-            Some(bytes) => Ok(Some(from_bytes(&bytes)?)),
+            // Payload fields of the decoded value are zero-copy views of
+            // the loaded record (which itself is a view of the backend's
+            // buffer).
+            Some(bytes) => Ok(Some(from_payload(&bytes)?)),
         }
     }
 
     fn append_value<T: Encode + ?Sized>(&self, key: &StorageKey, value: &T) -> Result<()> {
-        self.append(key, &to_bytes(value))
+        self.append(key, &to_payload(value))
     }
 
     fn load_log_values<T: Decode>(&self, key: &StorageKey) -> Result<Vec<T>> {
         self.load_log(key)?
             .iter()
-            .map(|bytes| from_bytes(bytes).map_err(Into::into))
+            .map(|bytes| from_payload(bytes).map_err(Into::into))
             .collect()
     }
 }

@@ -32,12 +32,14 @@
 
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::Write;
+use std::io::{IoSlice, Write};
 use std::path::{Path, PathBuf};
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use abcast_types::codec::{Decoder, Encoder};
+use abcast_types::copymeter::{self, CopyMode};
 use abcast_types::{AbcastError, Result};
 
 use crate::api::{StableStorage, StorageKey};
@@ -76,13 +78,23 @@ const CRC32_TABLE: [u32; 256] = {
     table
 };
 
-/// IEEE CRC-32 over `data`.
-fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
+/// Initial state of a streaming CRC-32 computation.
+const CRC32_INIT: u32 = 0xFFFF_FFFF;
+
+/// Folds `data` into a streaming CRC-32 state (start from [`CRC32_INIT`],
+/// finish with a bitwise NOT).  Streaming lets the journal checksum a
+/// record whose payload is a separate refcounted segment without first
+/// flattening the record into one buffer.
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
     for &byte in data {
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
     }
-    !crc
+    crc
+}
+
+/// IEEE CRC-32 over `data`.
+fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(CRC32_INIT, data)
 }
 
 /// Makes a just-performed rename (or create) of `path` durable by syncing
@@ -103,34 +115,126 @@ const TAG_STORE: u8 = 1;
 const TAG_APPEND: u8 = 2;
 const TAG_REMOVE: u8 = 3;
 
-/// Appends one framed record for `op` to `buf`.
-fn frame_op(buf: &mut Vec<u8>, op: &BatchOp) {
-    let mut payload = Encoder::new();
-    match op {
-        BatchOp::Store { key, value } => {
-            payload.put_u8(TAG_STORE);
-            payload.put_bytes(key.as_str().as_bytes());
-            payload.put_bytes(value);
+/// Journal bytes one record occupies: frame header, tag, length-prefixed
+/// key and (for store/append) length-prefixed value.
+fn record_encoded_len(op: &BatchOp) -> usize {
+    FRAME_HEADER
+        + 1
+        + 8
+        + op.key().as_str().len()
+        + match op {
+            BatchOp::Store { value, .. } | BatchOp::Append { value, .. } => 8 + value.len(),
+            BatchOp::Remove { .. } => 0,
         }
-        BatchOp::Append { key, value } => {
-            payload.put_u8(TAG_APPEND);
-            payload.put_bytes(key.as_str().as_bytes());
-            payload.put_bytes(value);
+}
+
+/// Encodes `ops` as one contiguous record group into `enc`.
+///
+/// On disk every record is `len(u32) ‖ crc32(u32) ‖ tag ‖ key ‖ [value]`
+/// (key and value carry u64 length prefixes).  Values go through
+/// [`Encoder::put_payload`], so a *chunked* encoder keeps them as shared
+/// refcounted segments for a vectored write (no flattening), while a
+/// buffering encoder materializes — and counts — the copies.  `scratch` is
+/// a reused per-record buffer holding the payload metadata so the record
+/// checksum (which precedes the payload on disk) can be computed streaming
+/// before anything is emitted.
+fn encode_group(ops: &[BatchOp], enc: &mut Encoder, scratch: &mut Vec<u8>) {
+    for op in ops {
+        let key = op.key().as_str().as_bytes();
+        let (tag, value) = match op {
+            BatchOp::Store { value, .. } => (TAG_STORE, Some(value)),
+            BatchOp::Append { value, .. } => (TAG_APPEND, Some(value)),
+            BatchOp::Remove { .. } => (TAG_REMOVE, None),
+        };
+        scratch.clear();
+        scratch.push(tag);
+        scratch.extend_from_slice(&(key.len() as u64).to_le_bytes());
+        scratch.extend_from_slice(key);
+        // `put_payload` below emits the value's u64 length prefix itself;
+        // the checksum must cover it in stream order all the same.
+        let payload_len = scratch.len() + value.map(|v| 8 + v.len()).unwrap_or(0);
+        let mut crc = crc32_update(CRC32_INIT, scratch);
+        if let Some(value) = value {
+            crc = crc32_update(crc, &(value.len() as u64).to_le_bytes());
+            crc = crc32_update(crc, value);
         }
-        BatchOp::Remove { key } => {
-            payload.put_u8(TAG_REMOVE);
-            payload.put_bytes(key.as_str().as_bytes());
+        enc.put_u32(payload_len as u32);
+        enc.put_u32(!crc);
+        enc.put_raw(scratch);
+        if let Some(value) = value {
+            enc.put_payload(value);
         }
     }
-    let payload = payload.into_bytes();
-    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-    buf.extend_from_slice(&payload);
+}
+
+/// Writes `ops` as one record group with as few copies as the mode allows:
+/// a chunked encoding fed to interleaved vectored writes normally (payload
+/// bytes go from the protocol state to the `writev` syscall uncopied), one
+/// exactly pre-sized flattened buffer in the [`CopyMode::Eager`] baseline
+/// of experiment E13.  Returns the journal bytes written.
+fn write_group_to(file: &mut File, ops: &[BatchOp]) -> Result<u64> {
+    let total: usize = ops.iter().map(record_encoded_len).sum();
+    let mut scratch = Vec::new();
+    if copymeter::mode() == CopyMode::Eager {
+        let mut enc = Encoder::with_capacity(total);
+        encode_group(ops, &mut enc, &mut scratch);
+        debug_assert_eq!(enc.len(), total, "record groups must be pre-sized exactly");
+        debug_assert!(!enc.reallocated(), "no mid-encode reallocation on the WAL path");
+        file.write_all(&enc.into_bytes())?;
+    } else {
+        let mut enc = Encoder::chunked();
+        encode_group(ops, &mut enc, &mut scratch);
+        debug_assert_eq!(enc.len(), total, "record groups must be pre-sized exactly");
+        let segments = enc.into_chunks();
+        let parts: Vec<&[u8]> = segments.iter().map(|b| &b[..]).collect();
+        write_all_vectored(file, &parts)?;
+    }
+    Ok(total as u64)
+}
+
+/// Writes every part of `parts`, in order, using vectored writes and
+/// handling short writes.
+fn write_all_vectored(file: &mut File, parts: &[&[u8]]) -> std::io::Result<()> {
+    let mut index = 0;
+    let mut offset = 0;
+    while index < parts.len() {
+        if parts[index].len() == offset {
+            index += 1;
+            offset = 0;
+            continue;
+        }
+        let slices: Vec<IoSlice<'_>> = std::iter::once(IoSlice::new(&parts[index][offset..]))
+            .chain(parts[index + 1..].iter().map(|p| IoSlice::new(p)))
+            .collect();
+        let mut written = file.write_vectored(&slices)?;
+        if written == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole record group",
+            ));
+        }
+        // Advance the cursor across however many parts the write covered.
+        while index < parts.len() && written > 0 {
+            let remaining = parts[index].len() - offset;
+            if written >= remaining {
+                written -= remaining;
+                index += 1;
+                offset = 0;
+            } else {
+                offset += written;
+                written = 0;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Decodes one record payload back into a [`BatchOp`].
-fn decode_op(payload: &[u8]) -> Result<BatchOp> {
-    let mut dec = Decoder::new(payload);
+///
+/// `payload` is a refcounted slice of the journal read buffer, so the
+/// decoded value is a zero-copy view of it.
+fn decode_op(payload: &Bytes) -> Result<BatchOp> {
+    let mut dec = Decoder::over(payload);
     let tag = dec.take_u8()?;
     let key_bytes = dec.take_bytes()?;
     let key = StorageKey::new(
@@ -140,11 +244,11 @@ fn decode_op(payload: &[u8]) -> Result<BatchOp> {
     Ok(match tag {
         TAG_STORE => BatchOp::Store {
             key,
-            value: dec.take_bytes()?.to_vec(),
+            value: dec.take_payload()?,
         },
         TAG_APPEND => BatchOp::Append {
             key,
-            value: dec.take_bytes()?.to_vec(),
+            value: dec.take_payload()?,
         },
         TAG_REMOVE => BatchOp::Remove { key },
         other => {
@@ -156,11 +260,16 @@ fn decode_op(payload: &[u8]) -> Result<BatchOp> {
 }
 
 /// The materialized state plus the open journal handle.
+///
+/// Slots and log records are refcounted [`Bytes`]: right after open they
+/// are zero-copy views of the replayed journal buffer; afterwards they
+/// share the buffers committed by the protocol.  Loads hand out views of
+/// the same buffers.
 #[derive(Debug)]
 struct WalInner {
     file: File,
-    slots: BTreeMap<StorageKey, Vec<u8>>,
-    logs: BTreeMap<StorageKey, Vec<Vec<u8>>>,
+    slots: BTreeMap<StorageKey, Bytes>,
+    logs: BTreeMap<StorageKey, Vec<Bytes>>,
     /// Current journal length in bytes.
     wal_bytes: u64,
     /// Bytes of live data (what a compacted journal would hold), kept
@@ -184,8 +293,8 @@ fn record_cost(key_len: usize, value_len: usize) -> u64 {
 /// up to date — compaction decisions on the commit path must be O(1),
 /// not a scan of the whole state.
 fn apply_op(
-    slots: &mut BTreeMap<StorageKey, Vec<u8>>,
-    logs: &mut BTreeMap<StorageKey, Vec<Vec<u8>>>,
+    slots: &mut BTreeMap<StorageKey, Bytes>,
+    logs: &mut BTreeMap<StorageKey, Vec<Bytes>>,
     live_bytes: &mut u64,
     op: BatchOp,
 ) {
@@ -254,9 +363,12 @@ impl WalStorage {
             }
             Err(e) => return Err(e.into()),
         };
+        // One read buffer for the whole journal; every replayed record's
+        // value is a zero-copy slice of it.
+        let data = Bytes::from(data);
 
-        let mut slots: BTreeMap<StorageKey, Vec<u8>> = BTreeMap::new();
-        let mut logs: BTreeMap<StorageKey, Vec<Vec<u8>>> = BTreeMap::new();
+        let mut slots: BTreeMap<StorageKey, Bytes> = BTreeMap::new();
+        let mut logs: BTreeMap<StorageKey, Vec<Bytes>> = BTreeMap::new();
         let mut live_bytes = 0u64;
         let mut offset = 0usize;
         while offset + FRAME_HEADER <= data.len() {
@@ -270,15 +382,37 @@ impl WalStorage {
             if body_start + len > data.len() {
                 break; // torn tail: the record was never fully written
             }
-            let payload = &data[body_start..body_start + len];
-            if crc32(payload) != crc {
+            let payload = data.slice(body_start..body_start + len);
+            if crc32(&payload) != crc {
                 break; // corrupt record: keep the intact prefix only
             }
-            let Ok(op) = decode_op(payload) else {
+            let Ok(op) = decode_op(&payload) else {
                 break; // undecodable but CRC-clean: treat like corruption
             };
             apply_op(&mut slots, &mut logs, &mut live_bytes, op);
             offset = body_start + len;
+        }
+
+        // Zero-copy replay slices every record out of the single journal
+        // read buffer — exactly right while the journal is mostly live
+        // (which compaction maintains; on a clean open the buffer IS the
+        // live state).  But when dead records dominate (a crash landed
+        // before a pending compaction), keeping views would pin the whole
+        // journal allocation for as long as any record survives:
+        // re-materialize the live records then, so replay memory is
+        // O(live), not O(journal).  The predicate mirrors the compaction
+        // trigger.
+        if copymeter::mode() == CopyMode::ZeroCopy && (offset as u64) > 2 * live_bytes {
+            for value in slots.values_mut() {
+                copymeter::record_copy(value.len());
+                *value = Bytes::copy_from_slice(value);
+            }
+            for entries in logs.values_mut() {
+                for value in entries.iter_mut() {
+                    copymeter::record_copy(value.len());
+                    *value = Bytes::copy_from_slice(value);
+                }
+            }
         }
 
         let file = OpenOptions::new()
@@ -366,30 +500,26 @@ impl WalStorage {
     }
 
     fn compact_locked(&self, inner: &mut WalInner) -> Result<()> {
-        let mut buf = Vec::new();
-        for (key, value) in &inner.slots {
-            frame_op(
-                &mut buf,
-                &BatchOp::Store {
+        // Rebuilding the live state clones only refcounted views — the
+        // payload bytes themselves are shared with the materialized maps
+        // and ride into the vectored write uncopied.
+        let live: Vec<BatchOp> = inner
+            .slots
+            .iter()
+            .map(|(key, value)| BatchOp::Store {
+                key: key.clone(),
+                value: value.clone(),
+            })
+            .chain(inner.logs.iter().flat_map(|(key, entries)| {
+                entries.iter().map(|value| BatchOp::Append {
                     key: key.clone(),
                     value: value.clone(),
-                },
-            );
-        }
-        for (key, entries) in &inner.logs {
-            for value in entries {
-                frame_op(
-                    &mut buf,
-                    &BatchOp::Append {
-                        key: key.clone(),
-                        value: value.clone(),
-                    },
-                );
-            }
-        }
+                })
+            }))
+            .collect();
         let tmp = self.path.with_extension("wal.compact");
         let mut file = File::create(&tmp)?;
-        file.write_all(&buf)?;
+        let rewritten = write_group_to(&mut file, &live)?;
         file.sync_data()?;
         self.metrics.record_sync();
         // The rename is the commit point: before it the old journal is
@@ -401,11 +531,10 @@ impl WalStorage {
         fs::rename(&tmp, &self.path)?;
         inner.file = file;
         debug_assert_eq!(
-            buf.len() as u64,
-            inner.live_bytes,
+            rewritten, inner.live_bytes,
             "the running live-bytes counter must match what compaction rewrites"
         );
-        inner.wal_bytes = buf.len() as u64;
+        inner.wal_bytes = rewritten;
         inner.compactions += 1;
         // Ordering audit of the compaction ↔ group-commit-window
         // interaction: compaction rewrites from the materialized view,
@@ -428,13 +557,13 @@ impl WalStorage {
 
     /// Writes `ops` as one contiguous record group and updates the
     /// materialized view.  Does *not* issue the barrier.
+    ///
+    /// The group is encoded chunked: metadata runs in small contiguous
+    /// segments, payload bytes as shared refcounted segments fed to a
+    /// vectored write — a committed value is never copied between the
+    /// protocol state and the syscall.
     fn write_group(&self, inner: &mut WalInner, ops: Vec<BatchOp>) -> Result<()> {
-        let mut buf = Vec::new();
-        for op in &ops {
-            frame_op(&mut buf, op);
-        }
-        inner.file.write_all(&buf)?;
-        inner.wal_bytes += buf.len() as u64;
+        inner.wal_bytes += write_group_to(&mut inner.file, &ops)?;
         for op in ops {
             match &op {
                 BatchOp::Store { value, .. } => self.metrics.record_store(value.len()),
@@ -469,17 +598,20 @@ impl StableStorage for WalStorage {
             &mut inner,
             vec![BatchOp::Store {
                 key: key.clone(),
-                value: value.to_vec(),
+                value: Bytes::copy_from_slice(value),
             }],
         )?;
         self.commit_barrier(&mut inner)
     }
 
-    fn load(&self, key: &StorageKey) -> Result<Option<Vec<u8>>> {
+    fn load(&self, key: &StorageKey) -> Result<Option<Bytes>> {
         let inner = self.inner.lock();
-        let value = inner.slots.get(key).cloned();
+        // A refcounted view of the materialized record, not a copy
+        // (`copymeter::loan` re-materializes only in the eager baseline
+        // mode, which is exactly what the pre-refactor `.cloned()` did).
+        let value = inner.slots.get(key).map(copymeter::loan);
         self.metrics
-            .record_load(value.as_ref().map(Vec::len).unwrap_or(0));
+            .record_load(value.as_ref().map(Bytes::len).unwrap_or(0));
         Ok(value)
     }
 
@@ -489,17 +621,21 @@ impl StableStorage for WalStorage {
             &mut inner,
             vec![BatchOp::Append {
                 key: key.clone(),
-                value: value.to_vec(),
+                value: Bytes::copy_from_slice(value),
             }],
         )?;
         self.commit_barrier(&mut inner)
     }
 
-    fn load_log(&self, key: &StorageKey) -> Result<Vec<Vec<u8>>> {
+    fn load_log(&self, key: &StorageKey) -> Result<Vec<Bytes>> {
         let inner = self.inner.lock();
-        let entries = inner.logs.get(key).cloned().unwrap_or_default();
+        let entries: Vec<Bytes> = inner
+            .logs
+            .get(key)
+            .map(|entries| entries.iter().map(copymeter::loan).collect())
+            .unwrap_or_default();
         self.metrics
-            .record_load(entries.iter().map(Vec::len).sum());
+            .record_load(entries.iter().map(Bytes::len).sum());
         Ok(entries)
     }
 
@@ -738,6 +874,79 @@ mod tests {
     }
 
     #[test]
+    fn replayed_records_are_zero_copy_views_of_the_journal_read() {
+        let path = temp_wal("zero-copy-replay");
+        {
+            let s = WalStorage::open(&path).unwrap().with_group_window(1);
+            s.append(&key("log"), b"first-record").unwrap();
+            s.append(&key("log"), b"second-record").unwrap();
+            s.store(&key("slot"), b"slot-value").unwrap();
+        }
+        let s = WalStorage::open(&path).unwrap();
+        let entries = s.load_log(&key("log")).unwrap();
+        let slot = s.load(&key("slot")).unwrap().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(
+            entries[0].shares_allocation_with(&entries[1])
+                && entries[0].shares_allocation_with(&slot),
+            "replayed records must be slices of the single journal read buffer"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replaying_a_mostly_dead_journal_does_not_pin_the_read_buffer() {
+        // A journal bloated with overwritten records (crash before a
+        // pending compaction) must not stay resident just because a few
+        // live views point into it: replay detaches the live records when
+        // dead bytes dominate, so memory is O(live), not O(journal).
+        let path = temp_wal("no-pin");
+        {
+            let s = WalStorage::open(&path)
+                .unwrap()
+                .with_group_window(1)
+                .with_compact_threshold(u64::MAX); // never compact
+            s.store(&key("stable"), b"survivor-one").unwrap();
+            s.append(&key("log"), b"survivor-two").unwrap();
+            for i in 0..100u32 {
+                s.store(&key("churn"), &[i as u8; 64]).unwrap();
+            }
+        }
+        let s = WalStorage::open(&path).unwrap();
+        let slot = s.load(&key("stable")).unwrap().unwrap();
+        let log = s.load_log(&key("log")).unwrap();
+        assert_eq!(slot, b"survivor-one");
+        assert_eq!(log[0], b"survivor-two");
+        assert!(
+            !slot.shares_allocation_with(&log[0]),
+            "live records of a mostly-dead journal must be detached from the read buffer"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn committed_payloads_are_not_copied_into_the_journal_write() {
+        use abcast_types::copymeter;
+        let path = temp_wal("zero-copy-write");
+        let s = WalStorage::open(&path).unwrap().with_group_window(1);
+        let mut batch = WriteBatch::new();
+        batch.store_payload(&key("slot"), Bytes::from(vec![1u8; 256]));
+        batch.append_payload(&key("log"), Bytes::from(vec![2u8; 256]));
+        let before = copymeter::snapshot();
+        s.commit_batch(batch).unwrap();
+        let delta = copymeter::snapshot().since(&before);
+        assert_eq!(
+            delta.payload_copies, 0,
+            "the vectored group write must not flatten payloads"
+        );
+        // The journal round-trips regardless.
+        drop(s);
+        let s = WalStorage::open(&path).unwrap();
+        assert_eq!(s.load(&key("slot")).unwrap().unwrap(), vec![1u8; 256]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
     fn unsynced_group_commits_survive_a_process_crash_reopen() {
         let path = temp_wal("unsynced");
         {
@@ -790,7 +999,7 @@ mod tests {
             for name in names {
                 prop_assert_eq!(
                     s.load(&key(name)).unwrap(),
-                    slots.get(name).cloned());
+                    slots.get(name).cloned().map(Bytes::from));
                 prop_assert_eq!(
                     s.load_log(&key(name)).unwrap(),
                     logs.get(name).cloned().unwrap_or_default());

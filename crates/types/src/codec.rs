@@ -19,11 +19,33 @@
 //! let back: (u64, String) = abcast_types::codec::from_bytes(&bytes).unwrap();
 //! assert_eq!(value, back);
 //! ```
+//!
+//! # Zero-copy payloads
+//!
+//! Opaque payloads (`bytes::Bytes`) travel through the codec without being
+//! re-materialized:
+//!
+//! * a [`Decoder`] built over a `Bytes` buffer ([`Decoder::over`]) hands
+//!   payloads out as **zero-copy sub-slices** of that buffer
+//!   ([`Decoder::take_payload`]) — decoding a wire frame or a WAL record
+//!   yields payload views that share the frame's backing allocation;
+//! * a *chunked* [`Encoder`] ([`Encoder::chunked`]) appends `Bytes` payloads
+//!   as reference-counted segments instead of copying them into a
+//!   contiguous buffer ([`Encoder::into_chunks`]), which backends turn into
+//!   vectored writes;
+//! * contiguous encoders pre-sized with [`Encode::encoded_len`] never
+//!   reallocate mid-encode ([`Encoder::reallocated`] is the regression
+//!   hook).
+//!
+//! Every payload memcpy that still happens is counted by
+//! [`crate::copymeter`], which experiment E13 reads.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use bytes::Bytes;
+
+use crate::copymeter::{self, CopyMode};
 
 /// Error produced when decoding malformed or truncated bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,28 +82,67 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
-/// Where an [`Encoder`] sends its bytes: a real buffer, or a counter that
-/// only measures how long the encoding would be.
+/// A sequence of refcounted segments built by a chunked encoder: small
+/// metadata runs interleaved with zero-copy payload views.
+#[derive(Debug, Default)]
+struct ChunkedBuf {
+    segments: Vec<Bytes>,
+    tail: Vec<u8>,
+    len: usize,
+}
+
+impl ChunkedBuf {
+    fn write(&mut self, bytes: &[u8]) {
+        self.tail.extend_from_slice(bytes);
+        self.len += bytes.len();
+    }
+
+    fn push_chunk(&mut self, chunk: &Bytes) {
+        if !self.tail.is_empty() {
+            self.segments.push(Bytes::from(std::mem::take(&mut self.tail)));
+        }
+        self.len += chunk.len();
+        self.segments.push(chunk.clone());
+    }
+
+    fn into_segments(mut self) -> Vec<Bytes> {
+        if !self.tail.is_empty() {
+            self.segments.push(Bytes::from(self.tail));
+        }
+        self.segments
+    }
+}
+
+/// Where an [`Encoder`] sends its bytes: a real buffer, a counter that only
+/// measures how long the encoding would be, or a chain of refcounted
+/// segments that keeps payloads unflattened.
 #[derive(Debug)]
 enum Sink {
     Buffer(Vec<u8>),
     Counter(usize),
+    Chunks(ChunkedBuf),
 }
 
 /// Incrementally builds the byte representation of a record.
 ///
 /// A *counting* encoder ([`Encoder::counting`]) implements the same
 /// interface without buffering anything, so size queries
-/// ([`Encode::encoded_len`]) are allocation-free.
+/// ([`Encode::encoded_len`]) are allocation-free.  A *chunked* encoder
+/// ([`Encoder::chunked`]) keeps [`Bytes`] payloads as shared segments
+/// instead of copying them.
 #[derive(Debug)]
 pub struct Encoder {
     sink: Sink,
+    /// Capacity of the buffer at construction time, for the
+    /// "pre-sized hot-path encoders never reallocate" regression check.
+    initial_capacity: usize,
 }
 
 impl Default for Encoder {
     fn default() -> Self {
         Encoder {
             sink: Sink::Buffer(Vec::new()),
+            initial_capacity: 0,
         }
     }
 }
@@ -93,9 +154,15 @@ impl Encoder {
     }
 
     /// Creates an encoder with pre-allocated capacity.
+    ///
+    /// Hot paths size this with [`Encode::encoded_len`] so the encode never
+    /// reallocates; [`Encoder::reallocated`] checks that it indeed did not.
     pub fn with_capacity(capacity: usize) -> Self {
+        let buf = Vec::with_capacity(capacity);
+        let initial_capacity = buf.capacity();
         Encoder {
-            sink: Sink::Buffer(Vec::with_capacity(capacity)),
+            sink: Sink::Buffer(buf),
+            initial_capacity,
         }
     }
 
@@ -103,6 +170,17 @@ impl Encoder {
     pub fn counting() -> Self {
         Encoder {
             sink: Sink::Counter(0),
+            initial_capacity: 0,
+        }
+    }
+
+    /// Creates a chunked encoder: [`Encoder::put_payload`] appends `Bytes`
+    /// values as refcounted segments without copying them; drain the result
+    /// with [`Encoder::into_chunks`].
+    pub fn chunked() -> Self {
+        Encoder {
+            sink: Sink::Chunks(ChunkedBuf::default()),
+            initial_capacity: 0,
         }
     }
 
@@ -111,6 +189,7 @@ impl Encoder {
         match &mut self.sink {
             Sink::Buffer(buf) => buf.extend_from_slice(bytes),
             Sink::Counter(count) => *count += bytes.len(),
+            Sink::Chunks(chunks) => chunks.write(bytes),
         }
     }
 
@@ -119,6 +198,7 @@ impl Encoder {
         match &mut self.sink {
             Sink::Buffer(buf) => buf.push(v),
             Sink::Counter(count) => *count += 1,
+            Sink::Chunks(chunks) => chunks.write(&[v]),
         }
     }
 
@@ -148,6 +228,25 @@ impl Encoder {
         self.write(v);
     }
 
+    /// Appends a length-prefixed *payload*.
+    ///
+    /// In a chunked encoder the payload is appended as a refcounted segment
+    /// — no copy.  In a buffering encoder the payload's bytes must be
+    /// flattened into the buffer; that memcpy is recorded with the
+    /// [`crate::copymeter`] so experiment E13 can count what the wire/WAL
+    /// paths still copy.  A counting encoder only measures.
+    pub fn put_payload(&mut self, v: &Bytes) {
+        self.put_u64(v.len() as u64);
+        match &mut self.sink {
+            Sink::Buffer(buf) => {
+                copymeter::record_copy(v.len());
+                buf.extend_from_slice(v);
+            }
+            Sink::Counter(count) => *count += v.len(),
+            Sink::Chunks(chunks) => chunks.push_chunk(v),
+        }
+    }
+
     /// Appends raw bytes without a length prefix.
     pub fn put_raw(&mut self, v: &[u8]) {
         self.write(v);
@@ -158,6 +257,7 @@ impl Encoder {
         match &self.sink {
             Sink::Buffer(buf) => buf.len(),
             Sink::Counter(count) => *count,
+            Sink::Chunks(chunks) => chunks.len,
         }
     }
 
@@ -166,28 +266,85 @@ impl Encoder {
         self.len() == 0
     }
 
+    /// `true` if a buffering encoder outgrew the capacity it was created
+    /// with.  Pre-sized hot-path encoders (wire frames, WAL records) must
+    /// never trip this; a regression test asserts it.
+    pub fn reallocated(&self) -> bool {
+        match &self.sink {
+            Sink::Buffer(buf) => buf.capacity() != self.initial_capacity,
+            Sink::Counter(_) | Sink::Chunks(_) => false,
+        }
+    }
+
     /// Consumes the encoder and returns the encoded bytes.
     ///
-    /// A counting encoder holds no bytes and returns an empty vector.
+    /// A counting encoder holds no bytes and returns an empty vector; a
+    /// chunked encoder flattens its segments (copying any payload chunks).
     pub fn into_bytes(self) -> Vec<u8> {
         match self.sink {
             Sink::Buffer(buf) => buf,
             Sink::Counter(_) => Vec::new(),
+            Sink::Chunks(chunks) => {
+                let mut out = Vec::with_capacity(chunks.len);
+                for segment in chunks.into_segments() {
+                    out.extend_from_slice(&segment);
+                }
+                out
+            }
+        }
+    }
+
+    /// Consumes the encoder and returns the encoded bytes as a refcounted
+    /// buffer (no copy beyond what [`Encoder::into_bytes`] performs).
+    pub fn into_payload(self) -> Bytes {
+        Bytes::from(self.into_bytes())
+    }
+
+    /// Consumes the encoder and returns its refcounted segments: metadata
+    /// runs interleaved with the payload views appended by
+    /// [`Encoder::put_payload`].  Storage backends feed these to vectored
+    /// writes so payload bytes go from the protocol state to the syscall
+    /// without intermediate copies.
+    pub fn into_chunks(self) -> Vec<Bytes> {
+        match self.sink {
+            Sink::Chunks(chunks) => chunks.into_segments(),
+            Sink::Counter(_) => Vec::new(),
+            Sink::Buffer(buf) => vec![Bytes::from(buf)],
         }
     }
 }
 
 /// Reads values back out of a byte slice produced by an [`Encoder`].
+///
+/// A decoder built with [`Decoder::over`] knows the refcounted buffer the
+/// slice belongs to, and [`Decoder::take_payload`] then returns zero-copy
+/// sub-slices of it.
 #[derive(Debug)]
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> Decoder<'a> {
-    /// Creates a decoder over `buf`.
+    /// Creates a decoder over `buf`.  Payloads decoded through this
+    /// decoder are copied out (there is no refcounted buffer to share).
     pub fn new(buf: &'a [u8]) -> Self {
-        Decoder { buf, pos: 0 }
+        Decoder {
+            buf,
+            pos: 0,
+            backing: None,
+        }
+    }
+
+    /// Creates a decoder over the refcounted buffer `bytes`: payloads come
+    /// out as zero-copy views sharing its backing allocation.
+    pub fn over(bytes: &'a Bytes) -> Self {
+        Decoder {
+            buf: bytes,
+            pos: 0,
+            backing: Some(bytes),
+        }
     }
 
     /// Number of bytes not yet consumed.
@@ -241,10 +398,35 @@ impl<'a> Decoder<'a> {
         Ok(i64::from_le_bytes(slice.try_into().expect("length checked")))
     }
 
-    /// Reads a length-prefixed byte slice.
+    /// Reads a length-prefixed byte slice, borrowed from the input.
     pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
         let len = self.take_u64()? as usize;
         self.take_slice(len)
+    }
+
+    /// Reads a length-prefixed *payload*.
+    ///
+    /// When the decoder was built [`Decoder::over`] a refcounted buffer
+    /// (and the thread is in the default [`CopyMode::ZeroCopy`]), the
+    /// returned `Bytes` is a zero-copy view of that buffer.  Otherwise the
+    /// payload is copied out and the copy is recorded with the
+    /// [`crate::copymeter`].
+    pub fn take_payload(&mut self) -> Result<Bytes, DecodeError> {
+        let len = self.take_u64()? as usize;
+        if self.remaining() < len {
+            return Err(DecodeError::truncated(len, self.remaining()));
+        }
+        let start = self.pos;
+        self.pos += len;
+        match self.backing {
+            Some(backing) if copymeter::mode() == CopyMode::ZeroCopy => {
+                Ok(backing.slice(start..start + len))
+            }
+            _ => {
+                copymeter::record_copy(len);
+                Ok(Bytes::copy_from_slice(&self.buf[start..start + len]))
+            }
+        }
     }
 }
 
@@ -283,10 +465,35 @@ pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
     value.encode_to_vec()
 }
 
+/// Encodes `value` into a refcounted buffer pre-sized with
+/// [`Encode::encoded_len`], so the hot path performs exactly one allocation
+/// and no mid-encode reallocation.
+pub fn to_payload<T: Encode + ?Sized>(value: &T) -> Bytes {
+    let mut enc = Encoder::with_capacity(value.encoded_len());
+    value.encode(&mut enc);
+    debug_assert!(!enc.reallocated(), "encoded_len must pre-size exactly");
+    enc.into_payload()
+}
+
 /// Decodes a value of type `T` from `bytes`, requiring that every byte is
 /// consumed.
 pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
     let mut dec = Decoder::new(bytes);
+    let value = T::decode(&mut dec)?;
+    if !dec.is_exhausted() {
+        return Err(DecodeError::invalid(format!(
+            "{} trailing bytes after value",
+            dec.remaining()
+        )));
+    }
+    Ok(value)
+}
+
+/// Decodes a value of type `T` from the refcounted buffer `bytes`,
+/// requiring that every byte is consumed.  Payload fields of the decoded
+/// value are zero-copy views of `bytes`.
+pub fn from_payload<T: Decode>(bytes: &Bytes) -> Result<T, DecodeError> {
+    let mut dec = Decoder::over(bytes);
     let value = T::decode(&mut dec)?;
     if !dec.is_exhausted() {
         return Err(DecodeError::invalid(format!(
@@ -389,13 +596,13 @@ impl Decode for String {
 
 impl Encode for Bytes {
     fn encode(&self, enc: &mut Encoder) {
-        enc.put_bytes(self);
+        enc.put_payload(self);
     }
 }
 
 impl Decode for Bytes {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
-        Ok(Bytes::copy_from_slice(dec.take_bytes()?))
+        dec.take_payload()
     }
 }
 
@@ -665,6 +872,57 @@ mod tests {
         assert_eq!(empty.len(), 2 + 8 + 1);
     }
 
+    #[test]
+    fn decoder_over_bytes_returns_zero_copy_payload_views() {
+        let payload = Bytes::from_static(b"the actual payload bytes");
+        let frame = to_payload(&(7u64, payload.clone()));
+        let (n, decoded): (u64, Bytes) = from_payload(&frame).unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(decoded, payload);
+        assert!(
+            decoded.shares_allocation_with(&frame),
+            "a payload decoded from a Bytes-backed frame must be a view of it"
+        );
+        // The borrowed-slice decoder cannot share and must copy instead.
+        let (_, copied): (u64, Bytes) = from_bytes(&frame.to_vec()).unwrap();
+        assert!(!copied.shares_allocation_with(&frame));
+        assert_eq!(copied, payload);
+    }
+
+    #[test]
+    fn presized_encoder_never_reallocates_and_chunked_encoder_never_copies() {
+        let value = (
+            vec![Bytes::from_static(b"abc"), Bytes::from_static(b"defgh")],
+            42u64,
+        );
+        let mut enc = Encoder::with_capacity(value.encoded_len());
+        value.encode(&mut enc);
+        assert!(!enc.reallocated(), "encoded_len must pre-size exactly");
+        assert_eq!(enc.len(), value.encoded_len());
+
+        let big = Bytes::from(vec![7u8; 64]);
+        let mut chunked = Encoder::chunked();
+        chunked.put_u8(1);
+        chunked.put_payload(&big);
+        chunked.put_u64(5);
+        assert_eq!(chunked.len(), 1 + 8 + 64 + 8);
+        let chunks = chunked.into_chunks();
+        assert!(
+            chunks.iter().any(|c| c.shares_allocation_with(&big)),
+            "the payload must ride through as a shared segment"
+        );
+        // Flattening the same encoding is byte-identical to a plain encode.
+        let mut chunked2 = Encoder::chunked();
+        chunked2.put_u8(1);
+        chunked2.put_payload(&big);
+        chunked2.put_u64(5);
+        let mut plain = Encoder::new();
+        plain.put_u8(1);
+        plain.put_payload(&big);
+        plain.put_u64(5);
+        assert_eq!(chunked2.into_bytes(), plain.into_bytes());
+    }
+
     proptest! {
         #[test]
         fn prop_u64_round_trip(x: u64) {
@@ -693,6 +951,38 @@ mod tests {
             let _ = from_bytes::<Vec<String>>(&data);
             let _ = from_bytes::<(u64, String)>(&data);
             let _ = from_bytes::<BTreeMap<u32, u64>>(&data);
+            // Nor may the zero-copy decoder.
+            let buf = Bytes::from(data);
+            let _ = from_payload::<Vec<Bytes>>(&buf);
+            let _ = from_payload::<(u64, Bytes)>(&buf);
+        }
+
+        #[test]
+        fn prop_payload_round_trip_is_zero_copy(
+            payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..8)) {
+            let value: Vec<Bytes> = payloads.iter().map(|p| Bytes::from(p.clone())).collect();
+            let frame = to_payload(&value);
+            let back: Vec<Bytes> = from_payload(&frame).unwrap();
+            prop_assert_eq!(&back, &value);
+            for b in &back {
+                // Empty payloads may be represented without touching the
+                // backing buffer; every non-empty one must share it.
+                if !b.is_empty() {
+                    prop_assert!(b.shares_allocation_with(&frame));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_truncated_frames_error_cleanly(
+            payload in proptest::collection::vec(any::<u8>(), 1..64),
+            cut in 0usize..72) {
+            // A frame torn at any byte boundary must decode to an error,
+            // never panic and never produce a wrong value.
+            let frame = to_payload(&Bytes::from(payload.clone()));
+            let cut = cut.min(frame.len().saturating_sub(1));
+            let torn = frame.slice(..cut);
+            prop_assert!(from_payload::<Bytes>(&torn).is_err());
         }
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod codec;
 pub mod config;
+pub mod copymeter;
 pub mod error;
 pub mod id;
 pub mod message;
@@ -33,6 +34,7 @@ pub mod time;
 pub mod vector_clock;
 
 pub use codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+pub use copymeter::{CopyMode, CopySnapshot};
 pub use config::{BatchingPolicy, LoggingPolicy, ProtocolConfig, RecoveryPolicy, TimerConfig};
 pub use error::{AbcastError, Result};
 pub use id::{ProcessId, ProcessSet};

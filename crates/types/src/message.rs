@@ -130,14 +130,16 @@ impl fmt::Debug for AppMessage {
 impl Encode for AppMessage {
     fn encode(&self, enc: &mut Encoder) {
         self.id.encode(enc);
-        enc.put_bytes(&self.payload);
+        enc.put_payload(&self.payload);
     }
 }
 
 impl Decode for AppMessage {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let id = MsgId::decode(dec)?;
-        let payload = Bytes::copy_from_slice(dec.take_bytes()?);
+        // Zero-copy when the decoder runs over a `Bytes` frame or record:
+        // the payload is a refcounted view of that buffer.
+        let payload = dec.take_payload()?;
         Ok(AppMessage { id, payload })
     }
 }

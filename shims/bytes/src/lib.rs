@@ -1,32 +1,46 @@
 //! Offline stand-in for the `bytes` crate.
 //!
-//! The workspace only needs an immutable, cheaply-clonable byte buffer for
-//! message payloads, so [`Bytes`] here is an `Arc<[u8]>` with the subset of
-//! the real crate's API the codebase uses (`copy_from_slice`, `From`
-//! conversions, slice deref). Clones are reference-counted, matching the
-//! real crate's cost model for the paths that matter (payload fan-out to n
-//! processes).
+//! The workspace needs an immutable, cheaply-clonable, cheaply-*sliceable*
+//! byte buffer for message payloads: [`Bytes`] here is an `Arc<[u8]>` plus a
+//! `[start, end)` window, with the subset of the real crate's API the
+//! codebase uses.  Clones and sub-slices are reference-counted views of the
+//! same backing allocation — no bytes are copied — matching the real
+//! crate's cost model for the paths that matter: payload fan-out to n
+//! processes, zero-copy decoding of wire frames and WAL records.
 
 use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A cheaply clonable, immutable slice of bytes.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// A cheaply clonable, cheaply sliceable, immutable slice of bytes.
+///
+/// `clone`, [`Bytes::slice`] and [`Bytes::split_to`] are O(1): they produce
+/// new views of the same reference-counted backing buffer.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// Creates an empty `Bytes`.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Copies `src` into a new reference-counted buffer.
     pub fn copy_from_slice(src: &[u8]) -> Self {
-        Bytes { data: Arc::from(src) }
+        let data: Arc<[u8]> = Arc::from(src);
+        let end = data.len();
+        Bytes { data, start: 0, end }
     }
 
     /// Wraps a static slice (copied here; the real crate borrows it, but the
@@ -35,35 +49,97 @@ impl Bytes {
         Self::copy_from_slice(src)
     }
 
-    /// Number of bytes.
+    /// Number of bytes in this view.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
-    /// Whether the buffer is empty.
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Returns a copy of the bytes as a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
-    /// Returns a new `Bytes` for the given sub-range.
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Returns a new `Bytes` view of the given sub-range **without copying**:
+    /// the result shares this buffer's backing allocation.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
-        let start = match range.start_bound() {
+        let len = self.len();
+        let begin = match range.start_bound() {
             Bound::Included(&n) => n,
             Bound::Excluded(&n) => n + 1,
             Bound::Unbounded => 0,
         };
-        let end = match range.end_bound() {
+        let finish = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => len,
         };
-        Self::copy_from_slice(&self.data[start..end])
+        assert!(
+            begin <= finish && finish <= len,
+            "slice range {begin}..{finish} out of bounds for Bytes of length {len}"
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + begin,
+            end: self.start + finish,
+        }
+    }
+
+    /// Splits the view at `at`: returns a zero-copy view of `[0, at)` and
+    /// leaves `self` as `[at, len)`.
+    pub fn split_to(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_to({at}) out of bounds (len {})", self.len());
+        let head = Bytes {
+            data: self.data.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Splits the view at `at`: returns a zero-copy view of `[at, len)` and
+    /// leaves `self` as `[0, at)`.
+    pub fn split_off(&mut self, at: usize) -> Self {
+        assert!(at <= self.len(), "split_off({at}) out of bounds (len {})", self.len());
+        let tail = Bytes {
+            data: self.data.clone(),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Advances the start of the view by `n` bytes (zero-copy).
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance({n}) out of bounds (len {})", self.len());
+        self.start += n;
+    }
+
+    /// Shortens the view to `len` bytes, dropping the tail (zero-copy).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len() {
+            self.end = self.start + len;
+        }
+    }
+
+    /// `true` if `self` and `other` are views of the same backing
+    /// allocation — i.e. one was derived from the other (or from a common
+    /// ancestor) without copying.  Test hook for zero-copy assertions; the
+    /// real crate expresses the same check with pointer-range arithmetic.
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
@@ -76,26 +152,26 @@ impl Default for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -104,9 +180,47 @@ impl fmt::Debug for Bytes {
     }
 }
 
+// Equality, ordering and hashing are over the *visible window*, never the
+// backing allocation: two views with equal contents are equal.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(v: Box<[u8]>) -> Self {
+        let data: Arc<[u8]> = Arc::from(v);
+        let end = data.len();
+        Bytes { data, start: 0, end }
     }
 }
 
@@ -142,31 +256,49 @@ impl FromIterator<u8> for Bytes {
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        &self.data[..] == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        &self.data[..] == *other
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other.data[..]
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for &[u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other.as_slice()
     }
 }
 
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == other.data[..]
+        self == other.as_slice()
     }
 }
 
@@ -192,5 +324,55 @@ mod tests {
         assert_eq!(Bytes::from(&b"xy"[..]).len(), 2);
         assert_eq!(Bytes::from("xyz").len(), 3);
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slicing_is_zero_copy() {
+        let b = Bytes::copy_from_slice(b"abcdefgh");
+        let mid = b.slice(2..6);
+        assert_eq!(mid, b"cdef"[..]);
+        assert!(mid.shares_allocation_with(&b), "slice must not copy");
+        // A slice of a slice still shares the original allocation.
+        let inner = mid.slice(1..3);
+        assert_eq!(inner, b"de"[..]);
+        assert!(inner.shares_allocation_with(&b));
+        // A fresh copy does not.
+        let copy = Bytes::copy_from_slice(&mid);
+        assert!(!copy.shares_allocation_with(&b));
+    }
+
+    #[test]
+    fn split_advance_truncate() {
+        let mut b = Bytes::copy_from_slice(b"0123456789");
+        let head = b.split_to(3);
+        assert_eq!(head, b"012"[..]);
+        assert_eq!(b, b"3456789"[..]);
+        assert!(head.shares_allocation_with(&b));
+        let tail = b.split_off(4);
+        assert_eq!(b, b"3456"[..]);
+        assert_eq!(tail, b"789"[..]);
+        b.advance(1);
+        assert_eq!(b, b"456"[..]);
+        b.truncate(2);
+        assert_eq!(b, b"45"[..]);
+        b.truncate(100); // no-op beyond the end
+        assert_eq!(b, b"45"[..]);
+    }
+
+    #[test]
+    fn equality_hash_and_order_are_content_based() {
+        use std::collections::hash_map::DefaultHasher;
+        let whole = Bytes::copy_from_slice(b"xxabyy");
+        let window = whole.slice(2..4);
+        let fresh = Bytes::copy_from_slice(b"ab");
+        assert_eq!(window, fresh);
+        assert_eq!(window.cmp(&fresh), Ordering::Equal);
+        let hash = |b: &Bytes| {
+            let mut h = DefaultHasher::new();
+            b.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&window), hash(&fresh));
+        assert!(Bytes::from("a") < Bytes::from("b"));
     }
 }

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use crash_recovery_abcast::net::RuntimeConfig;
+use crash_recovery_abcast::net::{FramedActor, RuntimeConfig};
 use crash_recovery_abcast::replication::state_machine::StateMachine;
 use crash_recovery_abcast::{
     AtomicBroadcast, ConsensusConfig, KvCommand, KvStore, LinkConfig, ProcessId, ProtocolConfig,
@@ -17,12 +17,19 @@ fn p(i: u32) -> ProcessId {
 
 #[test]
 fn live_cluster_orders_client_requests_identically() {
+    // The live threads exchange real byte frames: every message is encoded
+    // at the sender and decoded zero-copy at the receiver.
     let n = 3;
-    let runtime: ThreadRuntime<AtomicBroadcast> = ThreadRuntime::start(
+    let runtime: ThreadRuntime<FramedActor<AtomicBroadcast>> = ThreadRuntime::start(
         n,
         StorageRegistry::in_memory(n),
         RuntimeConfig::default(),
-        |_p, _s| AtomicBroadcast::new(ProtocolConfig::alternative(), ConsensusConfig::crash_recovery()),
+        |_p, _s| {
+            FramedActor::new(AtomicBroadcast::new(
+                ProtocolConfig::alternative(),
+                ConsensusConfig::crash_recovery(),
+            ))
+        },
     );
 
     for i in 0..6u8 {
@@ -55,6 +62,10 @@ fn live_cluster_orders_client_requests_identically() {
             .unwrap();
         let shorter = order0.len().min(order.len());
         assert_eq!(&order0[..shorter], &order[..shorter], "p{q} ordered differently");
+    }
+    for q in 0..3u32 {
+        let failures = runtime.inspect(p(q), |a| a.decode_failures()).unwrap();
+        assert_eq!(failures, 0, "p{q} saw undecodable frames");
     }
     runtime.shutdown();
 }
