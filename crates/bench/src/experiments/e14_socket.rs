@@ -1,0 +1,265 @@
+//! E14 — Real socket transport: delivered throughput and delivery latency
+//! of a 3-process loopback TCP cluster, against the in-process E12 runs.
+//!
+//! PR 5 put a real `std::net` TCP transport behind the frame codec
+//! (`abcast_net::tcp`): per-peer reconnecting connections, length-prefixed
+//! frames written vectored and reassembled zero-copy.  This experiment
+//! runs the same bounded-batch pipelined workload as E12 (`max_batch = 4`,
+//! `W ∈ {1, 4, 8}`, both logging variants) over actual loopback sockets
+//! and reports wall-clock throughput and observed p50/p99 delivery
+//! latency, next to the E12 numbers for the same `(variant, W)` measured
+//! under the simulator.
+//!
+//! The two columns are *not* directly comparable — E12 time is virtual and
+//! its link model injects 2–5 ms of delay per hop, while loopback RTT is
+//! tens of microseconds — but carrying both in one baseline keeps the
+//! socket path honest: the cluster must still deliver everything, drop
+//! nothing on a healthy stream (`decode_failures = 0`, `torn_frames = 0`)
+//! and scale with `W` on real sockets too.  The `exp_socket` binary emits
+//! `BENCH_socket.json` so the repository carries the socket-transport
+//! baseline.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use abcast_core::{ClusterConfig, TcpCluster};
+use abcast_types::{BatchingPolicy, ProtocolConfig};
+
+use crate::experiments::e12_pipeline;
+use crate::report::{fmt_f64, Table};
+use crate::workload::drive_socket_load;
+
+/// Processes in every measured cluster.
+const PROCESSES: usize = 3;
+/// Messages proposed to one consensus instance — kept small so the round
+/// rate, not the batch size, carries the load (same as E12).
+const MAX_BATCH: usize = 4;
+
+/// One measured variant × pipeline-depth combination over sockets.
+#[derive(Clone, Debug)]
+pub struct SocketRow {
+    /// Protocol variant label (`basic` or `alternative`).
+    pub variant: &'static str,
+    /// Pipeline depth `W`.
+    pub depth: u64,
+    /// Messages delivered at every process.
+    pub messages: usize,
+    /// Delivered messages per wall-clock second over loopback TCP.
+    pub throughput_msgs_per_sec: f64,
+    /// Mean observed A-broadcast → A-deliver latency at process 0 (ms).
+    pub mean_latency_ms: f64,
+    /// Median observed latency (ms).
+    pub p50_latency_ms: f64,
+    /// 99th-percentile observed latency (ms).
+    pub p99_latency_ms: f64,
+    /// Frames fully written to connected streams during the run.
+    pub frames_sent: u64,
+    /// Frames reassembled out of the streams during the run.
+    pub frames_received: u64,
+    /// Frames lost to the fair-lossy stream (0 on a healthy loopback run).
+    pub frames_dropped: u64,
+    /// Partial frames discarded at connection teardown (0 when healthy).
+    pub torn_frames: u64,
+    /// E12 throughput for the same `(variant, W)` under the simulator
+    /// (virtual time, 2–5 ms link), for side-by-side reading.
+    pub inproc_throughput_msgs_per_sec: f64,
+    /// E12 mean latency for the same `(variant, W)` (virtual ms).
+    pub inproc_mean_latency_ms: f64,
+}
+
+/// The depth sweep: `{1, 4}` in quick mode, `{1, 4, 8}` in full mode.
+pub fn depths(quick: bool) -> &'static [u64] {
+    if quick {
+        &[1, 4]
+    } else {
+        &[1, 4, 8]
+    }
+}
+
+fn protocol_for(variant: &str, depth: u64) -> ProtocolConfig {
+    let base = match variant {
+        "basic" => ProtocolConfig::basic(),
+        _ => ProtocolConfig::alternative(),
+    };
+    base.with_batching(BatchingPolicy::EarlyReturn { max_batch: MAX_BATCH })
+        .with_pipeline_depth(depth)
+}
+
+/// Runs the measurement matrix over loopback TCP and returns one row per
+/// combination, each carrying its in-process E12 twin for comparison.
+pub fn run_rows(quick: bool) -> Vec<SocketRow> {
+    let messages = if quick { 24 } else { 96 };
+    let e12_rows = e12_pipeline::run_rows(quick);
+    let e12_lookup = |variant: &str, depth: u64| {
+        e12_rows
+            .iter()
+            .find(|r| r.variant == variant && r.depth == depth)
+            .map(|r| (r.throughput_msgs_per_sec, r.mean_latency_ms))
+            .unwrap_or((0.0, 0.0))
+    };
+
+    let mut rows = Vec::new();
+    for variant in ["basic", "alternative"] {
+        for &depth in depths(quick) {
+            let config = ClusterConfig::basic(PROCESSES)
+                .with_seed(1401)
+                .with_protocol(protocol_for(variant, depth));
+            let mut cluster =
+                TcpCluster::new(config).expect("loopback listeners must bind");
+            let result = drive_socket_load(
+                &mut cluster,
+                messages,
+                32,
+                Duration::from_micros(500),
+                Duration::from_secs(60),
+            );
+            assert!(
+                result.all_delivered,
+                "E14 load must complete over sockets (variant {variant}, W = {depth})"
+            );
+            assert_eq!(
+                cluster.decode_failures(),
+                0,
+                "healthy loopback streams never produce undecodable frames"
+            );
+            let tcp = cluster.runtime().tcp_metrics().snapshot();
+            cluster.shutdown();
+            let (inproc_throughput, inproc_latency) = e12_lookup(variant, depth);
+            rows.push(SocketRow {
+                variant,
+                depth,
+                messages,
+                throughput_msgs_per_sec: result.throughput_msgs_per_sec,
+                mean_latency_ms: result.mean_latency_ms,
+                p50_latency_ms: result.p50_latency_ms,
+                p99_latency_ms: result.p99_latency_ms,
+                frames_sent: tcp.frames_sent,
+                frames_received: tcp.frames_received,
+                frames_dropped: tcp.frames_dropped,
+                torn_frames: tcp.torn_frames,
+                inproc_throughput_msgs_per_sec: inproc_throughput,
+                inproc_mean_latency_ms: inproc_latency,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the experiment and renders its table.
+pub fn run(quick: bool) -> Table {
+    table_from_rows(&run_rows(quick))
+}
+
+/// Renders measured rows as the E14 report table.
+pub fn table_from_rows(rows: &[SocketRow]) -> Table {
+    let mut table = Table::new(
+        "E14",
+        "socket transport: loopback TCP throughput and latency vs pipeline depth W",
+        &[
+            "variant",
+            "W",
+            "messages",
+            "tcp msgs/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "frames sent",
+            "frames dropped",
+            "E12 msgs/s (sim)",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.variant.to_string(),
+            row.depth.to_string(),
+            row.messages.to_string(),
+            fmt_f64(row.throughput_msgs_per_sec),
+            fmt_f64(row.p50_latency_ms),
+            fmt_f64(row.p99_latency_ms),
+            row.frames_sent.to_string(),
+            row.frames_dropped.to_string(),
+            fmt_f64(row.inproc_throughput_msgs_per_sec),
+        ]);
+    }
+    table.note(
+        "tcp columns are wall-clock over real loopback sockets; E12 columns are \
+         virtual time under the simulator's 2-5 ms link — side-by-side for context, \
+         not an apples-to-apples race",
+    );
+    table.note(
+        "latency is observed by polling process 0's delivery log (~0.2 ms slack \
+         per sample); healthy runs must show zero drops and zero torn frames",
+    );
+    table
+}
+
+/// Serializes the rows as the `BENCH_socket.json` baseline.
+pub fn to_json(rows: &[SocketRow], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"E14\",");
+    let _ = writeln!(
+        out,
+        "  \"title\": \"loopback TCP socket transport: delivered msgs/sec and p50/p99 latency vs pipeline depth W\","
+    );
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"processes\": {PROCESSES},");
+    let _ = writeln!(out, "  \"max_batch\": {MAX_BATCH},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"tcp_* fields are wall-clock over real sockets; inproc_* fields replay the same (variant, W) under the E12 simulator with its 2-5 ms link model\","
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"variant\": \"{}\", \"pipeline_depth\": {}, \"messages\": {}, \
+             \"tcp_throughput_msgs_per_sec\": {}, \"tcp_mean_latency_ms\": {}, \
+             \"tcp_p50_latency_ms\": {}, \"tcp_p99_latency_ms\": {}, \
+             \"frames_sent\": {}, \"frames_received\": {}, \"frames_dropped\": {}, \
+             \"torn_frames\": {}, \"inproc_throughput_msgs_per_sec\": {}, \
+             \"inproc_mean_latency_ms\": {}}}",
+            row.variant,
+            row.depth,
+            row.messages,
+            fmt_f64(row.throughput_msgs_per_sec),
+            fmt_f64(row.mean_latency_ms),
+            fmt_f64(row.p50_latency_ms),
+            fmt_f64(row.p99_latency_ms),
+            row.frames_sent,
+            row.frames_received,
+            row.frames_dropped,
+            row.torn_frames,
+            fmt_f64(row.inproc_throughput_msgs_per_sec),
+            fmt_f64(row.inproc_mean_latency_ms),
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_experiment_completes_and_reports_clean_streams() {
+        let rows = run_rows(true);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.throughput_msgs_per_sec > 0.0, "{row:?}");
+            assert!(row.p99_latency_ms >= row.p50_latency_ms, "{row:?}");
+            assert!(row.frames_sent > 0 && row.frames_received > 0, "{row:?}");
+            assert_eq!(row.torn_frames, 0, "healthy run tore a frame: {row:?}");
+            assert!(
+                row.inproc_throughput_msgs_per_sec > 0.0,
+                "the E12 twin must be carried: {row:?}"
+            );
+        }
+        let table = table_from_rows(&rows);
+        assert_eq!(table.len(), 4);
+        let json = to_json(&rows, true);
+        assert!(json.contains("\"experiment\": \"E14\""));
+        assert_eq!(json.matches("\"pipeline_depth\"").count(), 4);
+    }
+}

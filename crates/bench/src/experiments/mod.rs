@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E13).  See the crate documentation and
+//! The experiment suite (E1–E14).  See the crate documentation and
 //! `EXPERIMENTS.md` for the mapping from paper claims to experiments.
 
 pub mod e01_log_ops;
@@ -14,6 +14,7 @@ pub mod e10_quorum;
 pub mod e11_storage;
 pub mod e12_pipeline;
 pub mod e13_codec;
+pub mod e14_socket;
 
 use crate::report::Table;
 
@@ -37,6 +38,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e11_storage::run(quick),
         e12_pipeline::run(quick),
         e13_codec::run(quick),
+        e14_socket::run(quick),
     ]
 }
 
@@ -48,7 +50,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables_in_quick_mode() {
         let tables = super::run_all(true);
-        assert_eq!(tables.len(), 13);
+        assert_eq!(tables.len(), 14);
         for table in &tables {
             assert!(!table.is_empty(), "{} produced no rows", table.id);
             assert!(!table.columns.is_empty());

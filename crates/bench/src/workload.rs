@@ -119,6 +119,132 @@ pub fn drive_load(
     }
 }
 
+/// Outcome of one load run over the socket transport (wall-clock time).
+#[derive(Clone, Debug)]
+pub struct SocketLoadResult {
+    /// Number of messages that were successfully A-broadcast.
+    pub broadcast: usize,
+    /// `true` if every process delivered every message before the deadline.
+    pub all_delivered: bool,
+    /// Wall-clock duration from the first broadcast until process 0 had
+    /// delivered everything.
+    pub elapsed: std::time::Duration,
+    /// Mean A-broadcast → observed-A-delivery latency at process 0, in
+    /// milliseconds of wall-clock time.  Observation is by polling, so
+    /// each sample includes up to one poll interval of slack.
+    pub mean_latency_ms: f64,
+    /// Median of the same latency distribution.
+    pub p50_latency_ms: f64,
+    /// 99th percentile of the same latency distribution.
+    pub p99_latency_ms: f64,
+    /// Throughput in messages per wall-clock second.
+    pub throughput_msgs_per_sec: f64,
+}
+
+/// Polls process `observer`'s delivery log, recording the first time each
+/// identity is seen delivered.
+fn poll_first_seen(
+    cluster: &abcast_core::TcpCluster,
+    observer: ProcessId,
+    seen: &mut BTreeMap<MsgId, std::time::Instant>,
+) {
+    if let Some(ids) = cluster.delivery_log_ids(observer) {
+        let now = std::time::Instant::now();
+        for id in ids {
+            seen.entry(id).or_insert(now);
+        }
+    }
+}
+
+/// The wall-clock twin of [`drive_load`]: submits `count` broadcasts of
+/// `payload_size` bytes, spaced `gap` apart, round-robin across all
+/// processes of a socket-backed cluster, then waits until every process
+/// delivers everything (or `deadline_after_load` elapses).
+///
+/// Latency is measured at process 0 by polling its delivery log every few
+/// hundred microseconds — good enough for loopback percentiles, and
+/// documented as observational (each sample carries up to one poll
+/// interval of slack).
+pub fn drive_socket_load(
+    cluster: &mut abcast_core::TcpCluster,
+    count: usize,
+    payload_size: usize,
+    gap: std::time::Duration,
+    deadline_after_load: std::time::Duration,
+) -> SocketLoadResult {
+    use std::time::{Duration, Instant};
+    let processes: Vec<ProcessId> = cluster.processes().iter().collect();
+    let observer = processes[0];
+    let poll_interval = Duration::from_micros(200);
+
+    let mut submit: BTreeMap<MsgId, Instant> = BTreeMap::new();
+    let mut seen: BTreeMap<MsgId, Instant> = BTreeMap::new();
+    let started = Instant::now();
+    for i in 0..count {
+        let sender = processes[i % processes.len()];
+        let payload = vec![(i % 251) as u8; payload_size];
+        if let Some(id) = cluster.broadcast(sender, payload) {
+            submit.insert(id, Instant::now());
+        }
+        let until = Instant::now() + gap;
+        loop {
+            poll_first_seen(cluster, observer, &mut seen);
+            if Instant::now() >= until {
+                break;
+            }
+            std::thread::sleep(poll_interval);
+        }
+    }
+
+    // Drain: first until the observer saw everything (latency samples),
+    // then until every process has delivered (completeness).
+    let deadline = Instant::now() + deadline_after_load;
+    let mut observer_done = false;
+    while Instant::now() < deadline {
+        poll_first_seen(cluster, observer, &mut seen);
+        if submit.keys().all(|id| seen.contains_key(id)) {
+            observer_done = true;
+            break;
+        }
+        std::thread::sleep(poll_interval);
+    }
+    let elapsed = started.elapsed();
+    let ids: Vec<MsgId> = submit.keys().copied().collect();
+    let all_delivered = observer_done
+        && cluster.run_until_delivered(
+            &processes,
+            &ids,
+            deadline.saturating_duration_since(Instant::now()),
+        );
+
+    let mut latencies_ms: Vec<f64> = submit
+        .iter()
+        .filter_map(|(id, at)| seen.get(id).map(|s| (*s - *at).as_secs_f64() * 1000.0))
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let percentile = |q: f64| -> f64 {
+        latencies_ms
+            .get(((latencies_ms.len() as f64 * q) as usize).min(latencies_ms.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(0.0)
+    };
+    let mean_latency_ms = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+    };
+
+    SocketLoadResult {
+        broadcast: submit.len(),
+        all_delivered,
+        elapsed,
+        mean_latency_ms,
+        p50_latency_ms: percentile(0.50),
+        p99_latency_ms: percentile(0.99),
+        throughput_msgs_per_sec: seen.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
 /// Convenience: builds a cluster from `config` and immediately drives a
 /// load through it.
 pub fn run_load(

@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 
 use abcast_consensus::ConsensusConfig;
-use abcast_net::{FramedActor, LinkConfig};
+use abcast_net::{Actor, FramedActor, LinkConfig};
 use abcast_sim::{FaultPlan, SimConfig, SimStats, Simulation};
 use abcast_storage::{StorageRegistry, StorageSnapshot};
 use abcast_types::{
@@ -80,6 +80,21 @@ impl ClusterConfig {
         self.consensus = consensus;
         self
     }
+
+    /// The framed-actor factory every deployment of this configuration
+    /// uses — the simulated [`Cluster`], and the socket-backed
+    /// [`crate::socket::TcpCluster`] which runs the *same* actors over
+    /// real TCP connections.
+    pub fn framed_factory(
+        &self,
+    ) -> impl Fn(ProcessId, abcast_storage::SharedStorage) -> FramedAbcast + Send + Sync + Clone + 'static
+    {
+        let protocol = self.protocol.clone();
+        let consensus = self.consensus.clone();
+        move |_p, _storage| {
+            FramedActor::new(AtomicBroadcast::new(protocol.clone(), consensus.clone()))
+        }
+    }
 }
 
 /// The actor type a [`Cluster`] deploys: the protocol behind a byte wire.
@@ -110,8 +125,7 @@ impl Cluster {
     /// carried over from a previous deployment to exercise whole-cluster
     /// recovery.
     pub fn with_registry(config: ClusterConfig, storage: StorageRegistry) -> Self {
-        let protocol = config.protocol.clone();
-        let consensus = config.consensus.clone();
+        let factory = config.framed_factory();
         let sim = Simulation::with_storage(
             SimConfig {
                 processes: config.processes,
@@ -119,9 +133,7 @@ impl Cluster {
                 link: config.link.clone(),
             },
             storage,
-            move |_p, _storage| {
-                FramedActor::new(AtomicBroadcast::new(protocol.clone(), consensus.clone()))
-            },
+            factory,
         );
         Cluster {
             sim,
@@ -200,6 +212,22 @@ impl Cluster {
     /// Applies a fault plan to the cluster.
     pub fn apply_faults(&mut self, plan: &FaultPlan) {
         plan.apply(&mut self.sim);
+    }
+
+    /// Fires the checkpoint task of process `p` right now, exactly as if
+    /// its [`crate::protocol::CHECKPOINT_TIMER`] had expired.
+    ///
+    /// Equivalence tests across runtimes (simulated vs. socket-backed)
+    /// drive checkpoints through this instead of the free-running periodic
+    /// timer, so the grouping of deliveries into `(k, Agreed)` delta
+    /// records is a deterministic function of the workload rather than of
+    /// scheduling.  Returns `false` while `p` is down.
+    pub fn checkpoint_tick(&mut self, p: ProcessId) -> bool {
+        self.sim
+            .with_actor_mut(p, |actor, ctx| {
+                actor.on_timer(crate::protocol::CHECKPOINT_TIMER, ctx);
+            })
+            .is_some()
     }
 
     /// Runs for `duration` of virtual time.

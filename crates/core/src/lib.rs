@@ -16,7 +16,10 @@
 //! * [`properties`] — checkers for Validity, Integrity, Total Order and
 //!   Termination (Section 2.2);
 //! * [`Cluster`] — a simulation harness used by tests, benchmarks and the
-//!   experiment binaries.
+//!   experiment binaries;
+//! * [`TcpCluster`] — the same harness surface over a real TCP socket
+//!   transport on loopback ([`abcast_net::tcp`]), used by the socket
+//!   experiments and the stream-fault test suite.
 //!
 //! # Quick start
 //!
@@ -41,8 +44,10 @@ pub mod message;
 pub mod properties;
 pub mod protocol;
 pub mod queues;
+pub mod socket;
 
 pub use harness::{Cluster, ClusterConfig, FramedAbcast};
+pub use socket::TcpCluster;
 pub use message::AbcastMsg;
 pub use properties::{
     check_all, check_integrity, check_termination, check_total_order,

@@ -41,9 +41,11 @@ pub use abcast_types as types;
 
 pub use abcast_core::{
     AtomicBroadcast, Cluster, ClusterConfig, ConsensusConfig, DeliveryEvent, FramedAbcast,
-    ProtocolConfig,
+    ProtocolConfig, TcpCluster,
 };
-pub use abcast_net::{Actor, ActorContext, FramedActor, LinkConfig, ThreadRuntime, TimerId};
+pub use abcast_net::{
+    Actor, ActorContext, FramedActor, LinkConfig, TcpConfig, TcpRuntime, ThreadRuntime, TimerId,
+};
 pub use abcast_replication::{Bank, CertifyingDatabase, KvCommand, KvStore, Replica, Transaction};
 pub use abcast_sim::{FaultPlan, SimConfig, Simulation};
 pub use abcast_storage::{

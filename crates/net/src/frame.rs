@@ -21,15 +21,265 @@
 //! A frame that fails to decode is dropped, exactly like a message lost by
 //! the fair-lossy link (Section 3.1 allows it); the drop is counted on the
 //! wrapper so tests can assert it never happens in healthy runs.
+//!
+//! # Stream reassembly
+//!
+//! A TCP connection is a byte *stream*: one `read` may return half a frame,
+//! three frames, or a frame torn at any byte boundary, including inside the
+//! length prefix.  [`FrameReassembler`] turns that stream back into the
+//! frame sequence: read chunks are appended as refcounted segments (no
+//! copying), and every completed frame whose body lies inside one chunk is
+//! handed out as a **zero-copy slice of that read buffer** — exactly what
+//! [`decode_frame`] wants.  Only a frame that straddles two reads is
+//! coalesced (and that copy is recorded with the copymeter).
+//! [`wire_chunks`] is the outbound mirror: it prefixes a frame with its
+//! length as a chunked-encoder segment list for `write_vectored`, so the
+//! frame bytes are never flattened into a second buffer.
 
+use std::collections::VecDeque;
+use std::fmt;
 use std::ops::{Deref, DerefMut};
 
 use bytes::Bytes;
 
-use abcast_types::codec::{from_payload, to_payload, Decode, DecodeError, Encode};
-use abcast_types::ProcessId;
+use abcast_types::codec::{from_payload, to_payload, Decode, DecodeError, Encode, Encoder};
+use abcast_types::{copymeter, ProcessId};
 
 use crate::actor::{Actor, ActorContext, MappedContext, TimerId};
+
+/// Length of the on-stream frame prefix: a little-endian `u64` holding the
+/// frame body length, matching the codec's length-prefix convention.
+pub const WIRE_PREFIX_LEN: usize = 8;
+
+/// Default upper bound on one frame body; a prefix above this is treated as
+/// stream corruption and poisons the connection rather than allocating.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Fatal, connection-level framing failure.
+///
+/// Unlike a [`DecodeError`] (which drops one frame like fair-lossy loss), a
+/// stream error means the byte stream itself can no longer be trusted — the
+/// transport must drop the connection and start a fresh reassembly buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameStreamError {
+    /// The length prefix exceeds the configured maximum frame length.
+    Oversized {
+        /// The length the prefix claimed.
+        claimed: usize,
+        /// The configured bound it violated.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FrameStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameStreamError::Oversized { claimed, max } => {
+                write!(f, "frame prefix claims {claimed} bytes (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameStreamError {}
+
+/// Encodes `frame` for the wire as refcounted segments: the length prefix
+/// (and nothing else) is materialized; the frame body rides through as a
+/// shared view.  Feed the result to a vectored write.
+pub fn wire_chunks(frame: &Bytes) -> Vec<Bytes> {
+    let mut enc = Encoder::chunked();
+    enc.put_payload(frame);
+    enc.into_chunks()
+}
+
+/// Reassembles length-prefixed frames out of an arbitrarily fragmented byte
+/// stream.
+///
+/// Read chunks are held as refcounted segments; [`FrameReassembler::next_frame`]
+/// pops one complete frame at a time, slicing it **zero-copy** out of the
+/// chunk it arrived in whenever the body does not straddle a chunk
+/// boundary.  The buffer is strictly per-connection state: a connection
+/// drop must [`FrameReassembler::reset`] it (or drop it altogether) so a
+/// torn frame can never desynchronize the next connection's stream.
+#[derive(Debug)]
+pub struct FrameReassembler {
+    segments: VecDeque<Bytes>,
+    buffered: usize,
+    /// Body length parsed from a completed prefix, while waiting for the
+    /// rest of the body to arrive.
+    pending_body: Option<usize>,
+    max_frame_len: usize,
+    poisoned: bool,
+}
+
+impl Default for FrameReassembler {
+    fn default() -> Self {
+        FrameReassembler::new()
+    }
+}
+
+impl FrameReassembler {
+    /// Creates an empty reassembly buffer with [`DEFAULT_MAX_FRAME_LEN`].
+    pub fn new() -> Self {
+        FrameReassembler::with_max_frame_len(DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// Creates an empty reassembly buffer that rejects frames longer than
+    /// `max_frame_len`.
+    pub fn with_max_frame_len(max_frame_len: usize) -> Self {
+        FrameReassembler {
+            segments: VecDeque::new(),
+            buffered: 0,
+            pending_body: None,
+            max_frame_len,
+            poisoned: false,
+        }
+    }
+
+    /// Appends one read chunk to the buffer.  Zero-copy: the chunk is held
+    /// as a refcounted segment, and frames extracted from it alone will be
+    /// views of it.
+    pub fn push(&mut self, chunk: Bytes) {
+        if !chunk.is_empty() {
+            self.buffered += chunk.len();
+            self.segments.push_back(chunk);
+        }
+    }
+
+    /// Total bytes buffered and not yet handed out as frames (including a
+    /// parsed-but-unsatisfied length prefix).
+    pub fn buffered(&self) -> usize {
+        self.buffered + if self.pending_body.is_some() { WIRE_PREFIX_LEN } else { 0 }
+    }
+
+    /// `true` when the buffer holds a partial frame (or partial prefix): a
+    /// connection dropped here tore a frame mid-stream.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Discards all buffered state and clears any poisoning, returning the
+    /// number of torn bytes thrown away.  Call on every disconnect: frame
+    /// boundaries never survive across connections.
+    pub fn reset(&mut self) -> usize {
+        let torn = self.buffered();
+        self.segments.clear();
+        self.buffered = 0;
+        self.pending_body = None;
+        self.poisoned = false;
+        torn
+    }
+
+    /// Consumes exactly `out.len()` buffered bytes into `out`.  Caller must
+    /// ensure enough bytes are buffered.
+    fn consume_into(&mut self, out: &mut [u8]) {
+        let mut filled = 0;
+        while filled < out.len() {
+            let front = self.segments.front_mut().expect("enough bytes buffered");
+            let take = front.len().min(out.len() - filled);
+            out[filled..filled + take].copy_from_slice(&front[..take]);
+            filled += take;
+            if take == front.len() {
+                self.segments.pop_front();
+            } else {
+                front.advance(take);
+            }
+        }
+        self.buffered -= out.len();
+    }
+
+    /// Consumes exactly `len` buffered bytes as one `Bytes` value,
+    /// zero-copy when they lie within a single segment.
+    fn consume_bytes(&mut self, len: usize) -> Bytes {
+        if len == 0 {
+            return Bytes::new();
+        }
+        let front_len = self.segments.front().map(Bytes::len).expect("bytes buffered");
+        if front_len >= len {
+            // The whole body sits inside the chunk it was read in: hand out
+            // a refcounted view of that read buffer.
+            let front = self.segments.front_mut().expect("checked above");
+            let frame = front.split_to(len);
+            if front.is_empty() {
+                self.segments.pop_front();
+            }
+            self.buffered -= len;
+            frame
+        } else {
+            // The frame straddles a read boundary; coalescing it is the one
+            // copy the stream transport still performs, and it is counted.
+            copymeter::record_copy(len);
+            let mut out = Vec::with_capacity(len);
+            let mut remaining = len;
+            while remaining > 0 {
+                let front = self.segments.front_mut().expect("enough bytes buffered");
+                let take = front.len().min(remaining);
+                out.extend_from_slice(&front[..take]);
+                remaining -= take;
+                if take == front.len() {
+                    self.segments.pop_front();
+                } else {
+                    front.advance(take);
+                }
+            }
+            self.buffered -= len;
+            Bytes::from(out)
+        }
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` if the stream has not
+    /// yet delivered one.  An oversized length prefix poisons the buffer:
+    /// every subsequent call fails until [`FrameReassembler::reset`].
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameStreamError> {
+        if self.poisoned {
+            return Err(FrameStreamError::Oversized {
+                claimed: self.pending_body.unwrap_or(0),
+                max: self.max_frame_len,
+            });
+        }
+        let body_len = match self.pending_body {
+            Some(len) => len,
+            None => {
+                if self.buffered < WIRE_PREFIX_LEN {
+                    return Ok(None);
+                }
+                let mut prefix = [0u8; WIRE_PREFIX_LEN];
+                self.consume_into(&mut prefix);
+                let claimed = u64::from_le_bytes(prefix);
+                let len = usize::try_from(claimed).unwrap_or(usize::MAX);
+                if len > self.max_frame_len {
+                    self.poisoned = true;
+                    self.pending_body = Some(len);
+                    return Err(FrameStreamError::Oversized {
+                        claimed: len,
+                        max: self.max_frame_len,
+                    });
+                }
+                self.pending_body = Some(len);
+                len
+            }
+        };
+        if self.buffered < body_len {
+            return Ok(None);
+        }
+        self.pending_body = None;
+        Ok(Some(self.consume_bytes(body_len)))
+    }
+
+    /// Convenience: pushes `chunk` and drains every frame it completes.
+    ///
+    /// On a stream error the frames drained *before* the corrupt prefix are
+    /// discarded with the error; callers that must deliver them (the socket
+    /// reader) should push and pop frame by frame instead.
+    pub fn push_and_drain(&mut self, chunk: Bytes) -> Result<Vec<Bytes>, FrameStreamError> {
+        self.push(chunk);
+        let mut frames = Vec::new();
+        while let Some(frame) = self.next_frame()? {
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+}
 
 /// Encodes `msg` into one wire frame: a refcounted buffer pre-sized to the
 /// exact encoded length (no mid-encode reallocation; [`to_payload`] owns
@@ -237,6 +487,222 @@ mod tests {
         let (to, frame) = ctx.sent.last().unwrap();
         assert_eq!(*to, ProcessId::new(1));
         assert_eq!(decode_frame::<Ping>(frame).unwrap(), Ping::Hello(0));
+    }
+
+    /// Encodes `frames` as one contiguous wire stream (prefix + body each).
+    fn wire_stream(frames: &[Bytes]) -> Vec<u8> {
+        let mut stream = Vec::new();
+        for frame in frames {
+            for chunk in wire_chunks(frame) {
+                stream.extend_from_slice(&chunk);
+            }
+        }
+        stream
+    }
+
+    /// Feeds `stream` to a fresh reassembler in the given chunk sizes and
+    /// returns every frame that came out.
+    fn reassemble(stream: &[u8], chunk_sizes: impl IntoIterator<Item = usize>) -> Vec<Bytes> {
+        let mut reassembler = FrameReassembler::new();
+        let mut frames = Vec::new();
+        let mut pos = 0;
+        for size in chunk_sizes {
+            let end = (pos + size).min(stream.len());
+            if end > pos {
+                frames.extend(
+                    reassembler
+                        .push_and_drain(Bytes::copy_from_slice(&stream[pos..end]))
+                        .expect("healthy stream"),
+                );
+                pos = end;
+            }
+        }
+        assert_eq!(pos, stream.len(), "the schedule must cover the whole stream");
+        assert!(!reassembler.has_partial(), "stream ends on a frame boundary");
+        frames
+    }
+
+    #[test]
+    fn wire_chunks_carry_the_frame_as_a_shared_segment() {
+        let frame = Bytes::from(vec![3u8; 100]);
+        let chunks = wire_chunks(&frame);
+        assert_eq!(
+            chunks.iter().map(Bytes::len).sum::<usize>(),
+            WIRE_PREFIX_LEN + frame.len()
+        );
+        assert!(
+            chunks.iter().any(|c| c.shares_allocation_with(&frame)),
+            "the frame body must ride through unflattened"
+        );
+        // The concatenation starts with the little-endian length prefix.
+        let flat = wire_stream(std::slice::from_ref(&frame));
+        assert_eq!(flat[..WIRE_PREFIX_LEN], (frame.len() as u64).to_le_bytes());
+        assert_eq!(&flat[WIRE_PREFIX_LEN..], &frame[..]);
+    }
+
+    #[test]
+    fn single_chunk_reassembly_is_zero_copy() {
+        let frames: Vec<Bytes> = (0..4u8).map(|i| Bytes::from(vec![i; 20 + i as usize])).collect();
+        let chunk = Bytes::from(wire_stream(&frames));
+        let mut reassembler = FrameReassembler::new();
+        let out = reassembler.push_and_drain(chunk.clone()).unwrap();
+        assert_eq!(out, frames);
+        for frame in &out {
+            assert!(
+                frame.shares_allocation_with(&chunk),
+                "a frame wholly inside one read chunk must be a view of it"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_by_byte_reassembly_yields_the_identical_frame_sequence() {
+        let frames: Vec<Bytes> = vec![
+            Bytes::from_static(b"alpha"),
+            Bytes::new(),
+            Bytes::from(vec![0xAB; 300]),
+            Bytes::from_static(b"z"),
+        ];
+        let stream = wire_stream(&frames);
+        let out = reassemble(&stream, std::iter::repeat_n(1, stream.len()));
+        assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn splits_at_every_prefix_boundary_reassemble_identically() {
+        let frames: Vec<Bytes> = vec![Bytes::from(vec![7u8; 33]), Bytes::from(vec![9u8; 5])];
+        let stream = wire_stream(&frames);
+        for cut in 0..=stream.len() {
+            let out = reassemble(&stream, [cut, stream.len() - cut]);
+            assert_eq!(out, frames, "split at byte {cut} changed the frame sequence");
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_discarded_by_reset_and_never_desynchronizes_the_next_connection() {
+        // Connection 1 dies mid-frame: the prefix promised 40 bytes but only
+        // 10 arrived.  The reassembler must report the partial state, and
+        // after the per-connection reset a fresh stream must decode cleanly
+        // from its first byte.
+        let torn_frame = Bytes::from(vec![5u8; 40]);
+        let stream = wire_stream(&[torn_frame]);
+        let mut reassembler = FrameReassembler::new();
+        let out = reassembler
+            .push_and_drain(Bytes::copy_from_slice(&stream[..WIRE_PREFIX_LEN + 10]))
+            .unwrap();
+        assert!(out.is_empty());
+        assert!(reassembler.has_partial());
+        assert_eq!(reassembler.buffered(), WIRE_PREFIX_LEN + 10);
+
+        let torn = reassembler.reset();
+        assert_eq!(torn, WIRE_PREFIX_LEN + 10);
+        assert!(!reassembler.has_partial());
+
+        // The reconnected stream re-sends a different frame; the stale
+        // prefix from before the reset must not swallow it.
+        let fresh = Bytes::from_static(b"fresh connection frame");
+        let out = reassembler
+            .push_and_drain(Bytes::from(wire_stream(std::slice::from_ref(&fresh))))
+            .unwrap();
+        assert_eq!(out, vec![fresh]);
+    }
+
+    #[test]
+    fn oversized_prefix_poisons_until_reset() {
+        let mut reassembler = FrameReassembler::with_max_frame_len(64);
+        let mut stream = (1_000_000u64).to_le_bytes().to_vec();
+        stream.extend_from_slice(&[0; 16]);
+        let err = reassembler.push_and_drain(Bytes::from(stream)).unwrap_err();
+        assert!(matches!(err, FrameStreamError::Oversized { claimed: 1_000_000, max: 64 }));
+        // Still poisoned on the next call…
+        assert!(reassembler.next_frame().is_err());
+        // …until the connection-level reset.
+        reassembler.reset();
+        let frame = Bytes::from_static(b"ok");
+        let out = reassembler
+            .push_and_drain(Bytes::from(wire_stream(std::slice::from_ref(&frame))))
+            .unwrap();
+        assert_eq!(out, vec![frame]);
+    }
+
+    proptest::proptest! {
+        /// Satellite: any fragmentation schedule — byte-by-byte, random
+        /// chunk sizes, splits at every prefix boundary — yields the
+        /// identical frame sequence and never panics.
+        #[test]
+        fn prop_any_fragmentation_schedule_yields_identical_frames(
+            payload_lens in proptest::collection::vec(0usize..200, 1..8),
+            chunk_sizes in proptest::collection::vec(1usize..64, 1..512),
+        ) {
+            let frames: Vec<Bytes> = payload_lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| Bytes::from(vec![(i % 251) as u8; len]))
+                .collect();
+            let stream = wire_stream(&frames);
+            // Extend the schedule so it always covers the stream.
+            let schedule = chunk_sizes.into_iter().chain(std::iter::repeat(17));
+            let out = reassemble(&stream, schedule.scan(0usize, |covered, size| {
+                (*covered < stream.len()).then(|| { *covered += size; size })
+            }));
+            proptest::prop_assert_eq!(out, frames);
+        }
+
+        /// Satellite: frames handed out of a single read chunk are zero-copy
+        /// views of it, and payloads decoded from them still share the read
+        /// buffer's allocation end to end.
+        #[test]
+        fn prop_whole_chunk_frames_stay_zero_copy(
+            payload_lens in proptest::collection::vec(1usize..128, 1..6),
+        ) {
+            let frames: Vec<Bytes> = payload_lens
+                .iter()
+                .map(|&len| encode_frame(&Ping::Blob(Bytes::from(vec![0x5A; len]))))
+                .collect();
+            let chunk = Bytes::from(wire_stream(&frames));
+            let mut reassembler = FrameReassembler::new();
+            let out = reassembler.push_and_drain(chunk.clone()).unwrap();
+            proptest::prop_assert_eq!(out.len(), frames.len());
+            for frame in &out {
+                proptest::prop_assert!(frame.shares_allocation_with(&chunk));
+                let Ping::Blob(payload) = decode_frame(frame).unwrap() else {
+                    panic!("blob frames decode as blobs")
+                };
+                // Zero-copy end to end: reassembled frame → decoded payload
+                // are both views of the original read buffer.
+                proptest::prop_assert!(payload.shares_allocation_with(&chunk));
+            }
+        }
+
+        /// A stream cut anywhere leaves the reassembler with a partial tail
+        /// and the already-complete prefix frames intact — never a panic,
+        /// never a wrong frame.
+        #[test]
+        fn prop_cut_streams_yield_only_complete_prefix_frames(
+            payload_lens in proptest::collection::vec(0usize..64, 1..5),
+            cut_seed: u64,
+        ) {
+            let frames: Vec<Bytes> = payload_lens
+                .iter()
+                .map(|&len| Bytes::from(vec![0xC3; len]))
+                .collect();
+            let stream = wire_stream(&frames);
+            let cut = (cut_seed as usize) % (stream.len() + 1);
+            let mut reassembler = FrameReassembler::new();
+            let out = reassembler
+                .push_and_drain(Bytes::copy_from_slice(&stream[..cut]))
+                .unwrap();
+            proptest::prop_assert!(out.len() <= frames.len());
+            proptest::prop_assert_eq!(&out[..], &frames[..out.len()]);
+            // Torn tail bytes are all accounted for.
+            let consumed: usize = frames[..out.len()]
+                .iter()
+                .map(|f| WIRE_PREFIX_LEN + f.len())
+                .sum();
+            proptest::prop_assert_eq!(reassembler.buffered(), cut - consumed);
+            reassembler.reset();
+            proptest::prop_assert!(!reassembler.has_partial());
+        }
     }
 
     #[test]

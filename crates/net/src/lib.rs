@@ -19,6 +19,12 @@
 //!   wire framing: length-exact frame encoding, zero-copy frame decoding,
 //!   and the adapter that runs any codec-capable actor over `Bytes`
 //!   frames;
+//! * [`FrameReassembler`] / [`wire_chunks`] — stream framing: length
+//!   prefixes for vectored writes, zero-copy reassembly of frames out of
+//!   arbitrarily fragmented reads;
+//! * [`TcpRuntime`] / [`TcpConfig`] / [`PeerConn`] — the real socket
+//!   transport: per-peer reconnecting TCP connections over `std::net`,
+//!   with stream faults mapped back onto the fair-lossy model;
 //! * [`LinkConfig`] / [`LinkModel`] — the fair-lossy link model (loss,
 //!   duplication, arbitrary delay, partitions);
 //! * [`ThreadRuntime`] — a live, one-thread-per-process runtime used by the
@@ -34,11 +40,16 @@ pub mod frame;
 pub mod link;
 pub mod metrics;
 pub mod runtime;
+pub mod tcp;
 pub mod testkit;
 
 pub use actor::{Actor, ActorContext, ActorFactory, MappedContext, TimerId};
 pub use batch::{run_step, StepContext};
-pub use frame::{decode_frame, encode_frame, FramedActor};
+pub use frame::{
+    decode_frame, encode_frame, wire_chunks, FrameReassembler, FrameStreamError, FramedActor,
+    DEFAULT_MAX_FRAME_LEN, WIRE_PREFIX_LEN,
+};
 pub use link::{LinkConfig, LinkModel, PlannedDelivery};
-pub use metrics::{NetworkMetrics, NetworkSnapshot};
+pub use metrics::{NetworkMetrics, NetworkSnapshot, TcpMetrics, TcpSnapshot};
 pub use runtime::{RuntimeConfig, ThreadRuntime};
+pub use tcp::{PeerConn, TcpConfig, TcpRuntime};
