@@ -312,7 +312,7 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
             batch.store_value(&keys::consensus_accepted(self.instance), accepted);
         }
         if !batch.is_empty() {
-            let _ = ctx.storage().commit_batch(batch);
+            let _ = ctx.storage().commit_batch(batch); // xlint:allow(B2) — staged view: this merges into the step batch; the single barrier is still paid in StepContext::finish
         }
     }
 

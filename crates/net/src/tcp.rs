@@ -34,8 +34,9 @@
 use std::collections::BTreeMap;
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -169,25 +170,29 @@ struct ConnEntry {
 }
 
 impl ConnRegistry {
+    /// The registry entries, recovering from lock poisoning: a connection
+    /// thread that panicked while holding the lock must not cascade the
+    /// panic into every other thread — the entries (plain fds) stay valid.
+    fn entries(&self) -> MutexGuard<'_, Vec<ConnEntry>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Registers a live stream between `a` and `b`; returns a handle id for
     /// deregistration.
     fn register(&self, a: ProcessId, b: ProcessId, stream: TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .lock()
-            .expect("registry lock")
-            .push(ConnEntry { id, a, b, stream });
+        self.entries().push(ConnEntry { id, a, b, stream });
         id
     }
 
     fn deregister(&self, id: u64) {
-        self.inner.lock().expect("registry lock").retain(|e| e.id != id);
+        self.entries().retain(|e| e.id != id);
     }
 
     /// Hard-kills every registered stream between `a` and `b` (either
     /// direction); returns how many were severed.
     fn sever(&self, a: ProcessId, b: ProcessId) -> usize {
-        let guard = self.inner.lock().expect("registry lock");
+        let guard = self.entries();
         let mut severed = 0;
         for entry in guard.iter() {
             if (entry.a == a && entry.b == b) || (entry.a == b && entry.b == a) {
@@ -200,7 +205,7 @@ impl ConnRegistry {
 
     /// Hard-kills every registered stream touching `p`.
     fn sever_all_of(&self, p: ProcessId) -> usize {
-        let guard = self.inner.lock().expect("registry lock");
+        let guard = self.entries();
         let mut severed = 0;
         for entry in guard.iter() {
             if entry.a == p || entry.b == p {
@@ -213,9 +218,22 @@ impl ConnRegistry {
 
     /// Hard-kills everything (runtime shutdown).
     fn sever_everything(&self) {
-        for entry in self.inner.lock().expect("registry lock").iter() {
+        for entry in self.entries().iter() {
             let _ = entry.stream.shutdown(Shutdown::Both);
         }
+    }
+}
+
+/// Removes a registry entry when dropped, so a reader thread deregisters
+/// its connection on every exit path — including an unwind.
+struct RegistrationGuard {
+    registry: ConnRegistry,
+    id: u64,
+}
+
+impl Drop for RegistrationGuard {
+    fn drop(&mut self) {
+        self.registry.deregister(self.id);
     }
 }
 
@@ -314,8 +332,7 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
             accept_handles.push(
                 std::thread::Builder::new()
                     .name(format!("abcast-tcp-accept-{me}"))
-                    .spawn(move || acceptor.run())
-                    .expect("failed to spawn accept thread"),
+                    .spawn(move || acceptor.run())?,
             );
         }
 
@@ -345,8 +362,7 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
                 sender_handles.push(
                     std::thread::Builder::new()
                         .name(format!("abcast-tcp-send-{me}-to-p{dst}"))
-                        .spawn(move || conn.run())
-                        .expect("failed to spawn sender thread"),
+                        .spawn(move || conn.run())?,
                 );
             }
             outbound.push(row);
@@ -356,9 +372,12 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         let mut worker_handles = Vec::with_capacity(n);
         for (index, (_, receiver)) in channels.into_iter().enumerate() {
             let me = ProcessId::new(index as u32);
-            let my_storage = storage
-                .storage_for(me)
-                .expect("registry covers every process");
+            let my_storage = storage.storage_for(me).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("storage registry has no entry for {me}: {e}"),
+                )
+            })?;
             let worker = Worker {
                 me,
                 processes: processes.clone(),
@@ -368,14 +387,14 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
                 receiver,
                 factory: factory.clone(),
                 metrics: metrics.clone(),
+                tcp_metrics: tcp_metrics.clone(),
                 rng: StdRng::seed_from_u64(config.seed ^ (index as u64).wrapping_mul(0x9E37)),
                 epoch: Instant::now(),
             };
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("abcast-tcp-{me}"))
-                    .spawn(move || worker.run())
-                    .expect("failed to spawn process thread"),
+                    .spawn(move || worker.run())?,
             );
         }
 
@@ -536,8 +555,12 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         for handle in self.accept_handles.drain(..) {
             let _ = handle.join();
         }
-        let readers: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.reader_handles.lock().expect("reader handles lock"));
+        let readers: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .reader_handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
         for handle in readers {
             let _ = handle.join();
         }
@@ -721,12 +744,25 @@ impl<A: Actor<Msg = Bytes>> Acceptor<A> {
                         registry: self.registry.clone(),
                         max_frame_len: self.config.max_frame_len,
                     };
+                    let metrics = self.tcp_metrics.clone();
                     if let Ok(handle) = std::thread::Builder::new()
                         .name(format!("abcast-tcp-read-{}", self.me))
-                        .spawn(move || reader.run())
+                        .spawn(move || {
+                            // A panicking reader must not die silently: its
+                            // connection state already unwound (the
+                            // RegistrationGuard deregistered the stream),
+                            // so account the in-flight frame as torn
+                            // fair-lossy loss and make the panic countable.
+                            if catch_unwind(AssertUnwindSafe(|| reader.run())).is_err() {
+                                metrics.record_torn_frame();
+                                metrics.record_reader_panic();
+                            }
+                        })
                     {
-                        let mut handles =
-                            self.reader_handles.lock().expect("reader handles lock");
+                        let mut handles = self
+                            .reader_handles
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
                         // Reconnect churn accepts a connection per redial;
                         // drop handles of readers that already exited so
                         // the list stays bounded by *live* connections.
@@ -759,17 +795,23 @@ impl<A: Actor<Msg = Bytes>> ConnReader<A> {
         if self.stream.read_exact(&mut handshake).is_err() {
             return;
         }
-        let magic = u32::from_le_bytes(handshake[..4].try_into().expect("length checked"));
-        if magic != HANDSHAKE_MAGIC {
+        let mut magic_bytes = [0u8; 4];
+        magic_bytes.copy_from_slice(&handshake[..4]);
+        if u32::from_le_bytes(magic_bytes) != HANDSHAKE_MAGIC {
             let _ = self.stream.shutdown(Shutdown::Both);
             return;
         }
-        let peer = ProcessId::new(u32::from_le_bytes(
-            handshake[4..].try_into().expect("length checked"),
-        ));
+        let mut peer_bytes = [0u8; 4];
+        peer_bytes.copy_from_slice(&handshake[4..]);
+        let peer = ProcessId::new(u32::from_le_bytes(peer_bytes));
         self.tcp_metrics.record_connection_accepted();
-        let registered = match self.stream.try_clone() {
-            Ok(clone) => Some(self.registry.register(peer, self.me, clone)),
+        // RAII so the registry entry disappears even if this reader unwinds
+        // mid-stream; the stream's own Drop closes the fd in that case.
+        let _registered = match self.stream.try_clone() {
+            Ok(clone) => Some(RegistrationGuard {
+                registry: self.registry.clone(),
+                id: self.registry.register(peer, self.me, clone),
+            }),
             Err(_) => None,
         };
 
@@ -823,9 +865,6 @@ impl<A: Actor<Msg = Bytes>> ConnReader<A> {
             self.tcp_metrics.record_torn_frame();
             conn.reset();
         }
-        if let Some(id) = registered {
-            self.registry.deregister(id);
-        }
         let _ = self.stream.shutdown(Shutdown::Both);
     }
 }
@@ -843,6 +882,7 @@ struct Worker<A: Actor<Msg = Bytes>> {
     receiver: Receiver<Input<A>>,
     factory: Arc<dyn Fn(ProcessId, SharedStorage) -> A + Send + Sync>,
     metrics: NetworkMetrics,
+    tcp_metrics: TcpMetrics,
     rng: StdRng,
     epoch: Instant,
 }
@@ -973,7 +1013,12 @@ impl<'a, A: Actor<Msg = Bytes>> TcpWorkerContext<'a, A> {
             Some(tx) => {
                 let _ = tx.send(frame);
             }
-            None => unreachable!("outbound row covers every non-self destination"),
+            None => {
+                // The outbound row covers every non-self destination by
+                // construction; if that invariant ever breaks, map the send
+                // to a counted fair-lossy drop instead of killing the worker.
+                self.worker.tcp_metrics.record_frame_dropped();
+            }
         }
     }
 }

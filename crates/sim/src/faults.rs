@@ -109,7 +109,7 @@ impl FaultPlan {
     /// `[min_up, max_up]` and down periods from `[min_down, max_down]`
     /// until `horizon`, after which it stays up (so every process is good
     /// and liveness assertions still apply).
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // lint: churn bounds read clearest as explicit parameters
     pub fn random_churn(
         mut self,
         processes: impl IntoIterator<Item = ProcessId>,

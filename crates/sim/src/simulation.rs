@@ -9,7 +9,7 @@
 //! produce byte-for-byte identical behaviour.  All experiments and most
 //! tests in the workspace are built on this runtime.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use rand::{Rng, SeedableRng};
@@ -83,7 +83,7 @@ pub struct SimStats {
 
 #[derive(Debug, Default)]
 struct TimerTable {
-    generations: HashMap<TimerId, u64>,
+    generations: BTreeMap<TimerId, u64>,
     next_generation: u64,
 }
 

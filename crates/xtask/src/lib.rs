@@ -1,0 +1,95 @@
+//! `xtask`: workspace developer tooling, currently the determinism &
+//! durability linter behind `cargo xtask lint`.
+//!
+//! The linter is a dependency-free static-analysis pass over every
+//! workspace `.rs` file (shims and lint fixtures excluded).  It tokenizes
+//! each file with a small hand-rolled lexer and enforces the
+//! project-specific rules catalogued in [`rules::RULES`]:
+//!
+//! * **D1/D2** — determinism: no wall clock, ambient entropy or unordered
+//!   maps in the crates the seeded simulation / lock-step equivalence
+//!   tests depend on;
+//! * **B1/B2** — the paper's log-before-send barrier discipline: all
+//!   durability flows through `crates/storage`, and protocol handlers pay
+//!   exactly one barrier per step via `run_step`;
+//! * **Z1** — zero-copy payload regression guard;
+//! * **P1** — `net::tcp` connection handling maps faults to counted
+//!   fair-lossy loss instead of panicking;
+//! * **S1** — suppression hygiene.
+//!
+//! Deliberate exceptions carry a same-line
+//! `// xlint:allow(<rule>) — <reason>`; the report inventories every one.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::LintReport;
+pub use rules::{lint_source, FileOutcome, Suppression, Violation};
+
+/// Lints every workspace `.rs` file under `root` and aggregates the
+/// outcome.  Files are visited in sorted path order, so reports are
+/// deterministic.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut lint = LintReport::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rules::is_excluded(&rel_str) {
+            continue;
+        }
+        lint.files_scanned += 1;
+        let outcome = lint_source(&rel_str, &src);
+        lint.violations.extend(outcome.violations);
+        lint.suppressions.extend(outcome.suppressions);
+    }
+    Ok(lint)
+}
+
+/// Recursively collects `.rs` files, storing paths relative to `root`.
+/// Directories the lint never reads are pruned here (and re-checked in
+/// [`rules::is_excluded`], so direct `lint_source` callers agree).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "shims" | "node_modules") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// the workspace; falls back to `start` when none is found.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! `cargo xtask` — workspace developer tasks.
+//!
+//! ```text
+//! cargo xtask lint [--report <path>] [--root <dir>]
+//! ```
+//!
+//! `lint` runs the determinism & durability linter over the workspace and
+//! exits non-zero on any unsuppressed violation.  `--report` additionally
+//! writes the machine-readable JSON suppression inventory (uploaded as a
+//! CI artifact).
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: cargo xtask lint [--report <path>] [--root <dir>]");
+        return ExitCode::FAILURE;
+    };
+    match command.as_str() {
+        "lint" => lint(&args[1..]),
+        other => {
+            eprintln!("unknown xtask command `{other}` (available: lint)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut report_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => match it.next() {
+                Some(path) => report_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--report requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--root" => match it.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = root.unwrap_or_else(|| xtask::find_workspace_root(&cwd));
+    let lint = match xtask::lint_workspace(&root) {
+        Ok(lint) => lint,
+        Err(err) => {
+            eprintln!("xlint: failed to scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    print!("{}", lint.render_text());
+    if let Some(path) = report_path {
+        if let Err(err) = std::fs::write(&path, lint.render_json()) {
+            eprintln!("xlint: failed to write report {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", path.display());
+    }
+    if lint.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,149 @@
+//! Report assembly and the machine-readable JSON emitter.
+//!
+//! The JSON writer is hand-rolled (the build environment is offline, and a
+//! suppression inventory does not justify a serializer dependency).  Field
+//! order and array order are deterministic: files are walked in sorted
+//! order and findings are emitted in source order, so two runs over the
+//! same tree produce byte-identical reports.
+
+use crate::rules::{Suppression, Violation, RULES};
+
+/// The whole-workspace lint result.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub files_scanned: usize,
+    pub violations: Vec<Violation>,
+    pub suppressions: Vec<Suppression>,
+}
+
+impl LintReport {
+    /// `true` when the tree is clean (suppressed findings do not count).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable summary, one line per violation plus the
+    /// suppression inventory.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{} [{}] {}\n",
+                v.path, v.line, v.rule, v.message
+            ));
+        }
+        let used = self.suppressions.iter().filter(|s| s.used).count();
+        out.push_str(&format!(
+            "xlint: {} file(s) scanned, {} violation(s), {} suppression(s) ({} used)\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressions.len(),
+            used,
+        ));
+        for s in &self.suppressions {
+            out.push_str(&format!(
+                "  allow {} at {}:{}{} — {}\n",
+                s.rule,
+                s.path,
+                s.line,
+                if s.used { "" } else { " (unused)" },
+                s.reason
+            ));
+        }
+        out
+    }
+
+    /// The machine-readable report (`cargo xtask lint --report`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"rules\": [\n");
+        for (i, (rule, description)) in RULES.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"description\": {}}}{}\n",
+                json_str(rule),
+                json_str(description),
+                comma(i, RULES.len())
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message),
+                comma(i, self.violations.len())
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"suppressions\": [\n");
+        for (i, s) in self.suppressions.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"used\": {}, \"reason\": {}}}{}\n",
+                json_str(&s.rule),
+                json_str(&s.path),
+                s.line,
+                s.used,
+                json_str(&s.reason),
+                comma(i, self.suppressions.len())
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Violation;
+
+    #[test]
+    fn json_escapes_and_terminates() {
+        let mut report = LintReport {
+            files_scanned: 1,
+            ..LintReport::default()
+        };
+        report.violations.push(Violation {
+            rule: "D1",
+            path: "crates/core/src/a.rs".to_string(),
+            line: 3,
+            message: "quote \" backslash \\ newline \n done".to_string(),
+        });
+        let json = report.render_json();
+        assert!(json.contains("\\\" backslash \\\\ newline \\n done"));
+        assert!(json.trim_end().ends_with('}'));
+        // No raw control characters survive.
+        assert!(!json.contains('\u{0}'));
+    }
+}

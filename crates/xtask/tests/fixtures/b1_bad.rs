@@ -1,0 +1,10 @@
+// B1 fixture: direct durability calls outside crates/storage.
+use std::fs::File;
+use std::io::Write;
+
+fn persist(path: &str, payload: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(payload)?;
+    f.sync_data()?;
+    f.sync_all()
+}

@@ -1,0 +1,9 @@
+// B1 fixture: durability goes through the storage abstraction.
+use abcast_storage::{StorageKey, WriteBatch};
+
+fn persist(ctx: &mut dyn ActorContext<()>, payload: &[u8]) {
+    let mut batch = WriteBatch::new();
+    batch.store(&StorageKey::new("slot"), payload);
+    // The batch is committed (with its single barrier) by run_step.
+    let _ = batch;
+}

@@ -1,0 +1,8 @@
+// B2 fixture: raw sends and direct commits bypass run_step's
+// commit-before-send ordering.
+fn handler(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+    let batch = self.stage();
+    let _ = ctx.storage().commit_batch(batch);
+    self.loopback.send(Msg::Decided);
+    tx.send(frame);
+}

@@ -1,0 +1,9 @@
+// B2 fixture: sends go through the ActorContext; run_step commits the
+// staged batch before releasing them.
+fn handler(&mut self, ctx: &mut dyn ActorContext<Msg>) {
+    run_step(ctx, |step| {
+        step.storage().store_value(&key(), &1u64);
+        step.send(self.sequencer, Msg::Propose);
+        step.multisend(Msg::Decided);
+    });
+}

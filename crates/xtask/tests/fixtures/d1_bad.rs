@@ -1,0 +1,14 @@
+// D1 fixture: wall clock and ambient entropy in a deterministic crate.
+use std::time::{Duration, Instant, SystemTime};
+
+fn elapsed() -> Duration {
+    let start = Instant::now();
+    let _wall = SystemTime::now();
+    start.elapsed()
+}
+
+fn noise() -> u64 {
+    let mut rng = rand::thread_rng();
+    let x: u64 = rand::random();
+    x ^ rng.gen::<u64>()
+}

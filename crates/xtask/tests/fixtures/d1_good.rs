@@ -1,0 +1,11 @@
+// D1 fixture: time and randomness come from the runtime.
+use abcast_types::{SimDuration, SimTime};
+
+fn step(ctx: &mut dyn ActorContext<()>) {
+    let now: SimTime = ctx.now();
+    let jitter = ctx.random_u64() % 7;
+    ctx.set_timer(TimerId::new(1), SimDuration::from_millis(10 + jitter));
+    let _ = now;
+    // Mentioning Instant in a comment or "Instant" in a string is fine.
+    let _s = "Instant::now() and SystemTime in a string literal";
+}

@@ -1,0 +1,11 @@
+// D2 fixture: unordered collections in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    by_round: HashMap<u64, Vec<u8>>,
+    seen: HashSet<u64>,
+}
+
+fn drain(t: &mut Table) -> Vec<u64> {
+    t.by_round.keys().copied().collect()
+}

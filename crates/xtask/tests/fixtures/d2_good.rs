@@ -1,0 +1,11 @@
+// D2 fixture: ordered collections keep seeded runs reproducible.
+use std::collections::{BTreeMap, BTreeSet};
+
+struct Table {
+    by_round: BTreeMap<u64, Vec<u8>>,
+    seen: BTreeSet<u64>,
+}
+
+fn drain(t: &mut Table) -> Vec<u64> {
+    t.by_round.keys().copied().collect()
+}

@@ -1,0 +1,13 @@
+// P1 fixture: panics in connection handling.
+fn read_loop(stream: &mut TcpStream) {
+    let mut buf = [0u8; 8];
+    stream.read_exact(&mut buf).unwrap();
+    let magic = u32::from_le_bytes(buf[..4].try_into().expect("length checked"));
+    if magic != MAGIC {
+        panic!("bad handshake");
+    }
+    match route(magic) {
+        Some(peer) => deliver(peer),
+        None => unreachable!("route covers every peer"),
+    }
+}

@@ -1,0 +1,13 @@
+// P1 fixture: stream faults map to counted fair-lossy loss.
+fn read_loop(stream: &mut TcpStream, metrics: &TcpMetrics) {
+    let mut buf = [0u8; 8];
+    if stream.read_exact(&mut buf).is_err() {
+        metrics.record_torn_frame();
+        return;
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf[..4]);
+    if u32::from_le_bytes(magic) != MAGIC {
+        metrics.record_stream_error();
+    }
+}

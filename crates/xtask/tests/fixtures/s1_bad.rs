@@ -1,0 +1,6 @@
+// S1 fixture: an allow attribute with no justification.
+#[allow(dead_code)]
+fn unjustified() {}
+
+#[allow(clippy::too_many_arguments)]
+fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {}

@@ -1,0 +1,6 @@
+// S1 fixture: every allow carries its reason.
+#[allow(dead_code)] // lint: exercised only by the recovery integration suite
+fn justified() {}
+
+#[allow(clippy::too_many_arguments)] // lint: mirrors the paper's parameter list
+fn wide(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8, g: u8, h: u8) {}

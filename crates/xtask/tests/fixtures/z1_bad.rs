@@ -1,0 +1,9 @@
+// Z1 fixture: payload copies on the zero-copy path.
+use bytes::Bytes;
+
+fn copy_out(payload: &Bytes) -> Vec<u8> {
+    let owned = payload.to_vec();
+    let again = Vec::from(&payload[..]);
+    let _ = again;
+    owned
+}

@@ -1,0 +1,7 @@
+// Z1 fixture: payloads stay refcounted views end to end.
+use bytes::Bytes;
+
+fn pass_through(payload: &Bytes) -> Bytes {
+    let window = payload.slice(4..);
+    window.clone()
+}

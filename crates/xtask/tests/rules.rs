@@ -1,0 +1,254 @@
+//! Fixture-based tests: every rule has at least one known-bad snippet it
+//! fires on and a known-good twin it accepts, plus suppression-syntax and
+//! scoping tests.  Fixtures live under `tests/fixtures/` (excluded from
+//! the workspace sweep — they are deliberately full of violations).
+
+use xtask::lint_source;
+
+fn rules_fired(rel_path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_source(rel_path, src)
+        .violations
+        .iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+fn assert_clean(rel_path: &str, src: &str) {
+    let outcome = lint_source(rel_path, src);
+    assert!(
+        outcome.violations.is_empty(),
+        "expected clean but got: {:#?}",
+        outcome.violations
+    );
+}
+
+// --- D1 -------------------------------------------------------------------
+
+#[test]
+fn d1_fires_on_wall_clock_and_entropy_in_deterministic_crates() {
+    let bad = include_str!("fixtures/d1_bad.rs");
+    let outcome = lint_source("crates/consensus/src/fixture.rs", bad);
+    let d1: Vec<u32> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.rule == "D1")
+        .map(|v| v.line)
+        .collect();
+    // use-line Instant + SystemTime, Instant::now, SystemTime::now,
+    // thread_rng, rand::random.
+    assert!(d1.len() >= 6, "expected ≥6 D1 findings, got {d1:?}");
+    assert!(outcome.violations.iter().all(|v| v.rule == "D1"));
+}
+
+#[test]
+fn d1_accepts_runtime_time_and_ignores_strings_and_comments() {
+    assert_clean(
+        "crates/consensus/src/fixture.rs",
+        include_str!("fixtures/d1_good.rs"),
+    );
+}
+
+#[test]
+fn d1_does_not_apply_outside_deterministic_crates() {
+    // The TCP transport legitimately reads the wall clock.
+    assert_clean("crates/net/src/fixture.rs", include_str!("fixtures/d1_bad.rs"));
+}
+
+// --- D2 -------------------------------------------------------------------
+
+#[test]
+fn d2_fires_on_unordered_collections() {
+    let fired = rules_fired(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/d2_bad.rs"),
+    );
+    assert_eq!(fired, vec!["D2"]);
+}
+
+#[test]
+fn d2_accepts_btree_collections() {
+    assert_clean(
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/d2_good.rs"),
+    );
+}
+
+// --- B1 -------------------------------------------------------------------
+
+#[test]
+fn b1_fires_on_direct_durability_outside_storage() {
+    let outcome = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/b1_bad.rs"));
+    let b1 = outcome.violations.iter().filter(|v| v.rule == "B1").count();
+    // File::create, sync_data, sync_all.
+    assert!(b1 >= 3, "expected ≥3 B1 findings, got {:#?}", outcome.violations);
+}
+
+#[test]
+fn b1_is_allowed_inside_the_storage_crate() {
+    assert_clean(
+        "crates/storage/src/fixture.rs",
+        include_str!("fixtures/b1_bad.rs"),
+    );
+}
+
+#[test]
+fn b1_accepts_writes_through_the_batch() {
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/b1_good.rs"),
+    );
+}
+
+// --- B2 -------------------------------------------------------------------
+
+#[test]
+fn b2_fires_on_raw_sends_and_direct_commit() {
+    let outcome = lint_source("crates/core/src/fixture.rs", include_str!("fixtures/b2_bad.rs"));
+    let b2 = outcome.violations.iter().filter(|v| v.rule == "B2").count();
+    // commit_batch + loopback.send + tx.send.
+    assert_eq!(b2, 3, "got {:#?}", outcome.violations);
+}
+
+#[test]
+fn b2_accepts_context_sends_under_run_step() {
+    assert_clean(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/b2_good.rs"),
+    );
+}
+
+// --- Z1 -------------------------------------------------------------------
+
+#[test]
+fn z1_fires_on_payload_copies() {
+    let outcome = lint_source("crates/net/src/fixture.rs", include_str!("fixtures/z1_bad.rs"));
+    let z1 = outcome.violations.iter().filter(|v| v.rule == "Z1").count();
+    assert_eq!(z1, 2, "got {:#?}", outcome.violations);
+}
+
+#[test]
+fn z1_accepts_refcounted_views_and_other_crates() {
+    assert_clean("crates/net/src/fixture.rs", include_str!("fixtures/z1_good.rs"));
+    // The replication services are off the payload hot path.
+    assert_clean(
+        "crates/replication/src/fixture.rs",
+        include_str!("fixtures/z1_bad.rs"),
+    );
+}
+
+// --- P1 -------------------------------------------------------------------
+
+#[test]
+fn p1_fires_on_panics_in_tcp_connection_handling() {
+    let outcome = lint_source("crates/net/src/tcp.rs", include_str!("fixtures/p1_bad.rs"));
+    let p1 = outcome.violations.iter().filter(|v| v.rule == "P1").count();
+    // unwrap, expect, panic!, unreachable!.
+    assert_eq!(p1, 4, "got {:#?}", outcome.violations);
+}
+
+#[test]
+fn p1_accepts_counted_fault_mapping_and_is_file_scoped() {
+    assert_clean("crates/net/src/tcp.rs", include_str!("fixtures/p1_good.rs"));
+    // Other net modules (and the rest of the tree) may unwrap.
+    assert_clean("crates/net/src/frame.rs", include_str!("fixtures/p1_bad.rs"));
+}
+
+// --- S1 -------------------------------------------------------------------
+
+#[test]
+fn s1_fires_on_unjustified_allow_attributes() {
+    let outcome = lint_source("crates/fd/src/fixture.rs", include_str!("fixtures/s1_bad.rs"));
+    let s1 = outcome.violations.iter().filter(|v| v.rule == "S1").count();
+    assert_eq!(s1, 2, "got {:#?}", outcome.violations);
+}
+
+#[test]
+fn s1_accepts_justified_allows_everywhere_including_tests() {
+    assert_clean("crates/fd/src/fixture.rs", include_str!("fixtures/s1_good.rs"));
+    let fired = rules_fired("tests/fixture.rs", include_str!("fixtures/s1_bad.rs"));
+    assert_eq!(fired, vec!["S1"], "S1 also covers test-like files");
+}
+
+// --- Suppressions ---------------------------------------------------------
+
+#[test]
+fn a_justified_suppression_silences_the_rule_and_is_inventoried() {
+    let src = "use std::collections::HashMap; \
+               // xlint:allow(D2) — never iterated, keyed lookups only\n";
+    let outcome = lint_source("crates/core/src/fixture.rs", src);
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    assert_eq!(outcome.suppressions.len(), 1);
+    let s = &outcome.suppressions[0];
+    assert_eq!(s.rule, "D2");
+    assert_eq!(s.line, 1);
+    assert!(s.used);
+    assert_eq!(s.reason, "never iterated, keyed lookups only");
+}
+
+#[test]
+fn a_suppression_without_a_reason_does_not_suppress() {
+    let src = "use std::collections::HashMap; // xlint:allow(D2)\n";
+    let fired = rules_fired("crates/core/src/fixture.rs", src);
+    assert!(fired.contains(&"D2"), "unjustified allow must not silence the rule");
+    assert!(fired.contains(&"S1"), "and the empty reason is itself flagged");
+}
+
+#[test]
+fn a_suppression_for_the_wrong_rule_does_not_suppress() {
+    let src = "use std::collections::HashMap; // xlint:allow(D1) — wrong rule\n";
+    let outcome = lint_source("crates/core/src/fixture.rs", src);
+    assert!(outcome.violations.iter().any(|v| v.rule == "D2"));
+    assert!(!outcome.suppressions[0].used);
+}
+
+#[test]
+fn an_unknown_rule_id_is_a_hygiene_violation() {
+    let src = "fn f() {} // xlint:allow(Q9) — typo\n";
+    let fired = rules_fired("crates/core/src/fixture.rs", src);
+    assert_eq!(fired, vec!["S1"]);
+}
+
+// --- Test-region masking --------------------------------------------------
+
+#[test]
+fn cfg_test_modules_are_exempt_from_everything_but_s1() {
+    let src = r#"
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn measures() {
+        let t = Instant::now();
+        let m: HashMap<u8, u8> = HashMap::new();
+        let v = payload.to_vec();
+        v.first().unwrap();
+        let _ = (t, m);
+    }
+}
+"#;
+    assert_clean("crates/core/src/fixture.rs", src);
+    // …but code after the test module is linted again.
+    let after = format!("{src}\nuse std::collections::HashMap;\n");
+    let fired = rules_fired("crates/core/src/fixture.rs", &after);
+    assert_eq!(fired, vec!["D2"]);
+}
+
+// --- Scoping --------------------------------------------------------------
+
+#[test]
+fn shims_fixtures_and_benches_are_out_of_scope() {
+    let bad = include_str!("fixtures/d1_bad.rs");
+    assert_clean("shims/rand/src/lib.rs", bad);
+    assert_clean("crates/xtask/tests/fixtures/d1_bad.rs", bad);
+    assert_clean("crates/bench/src/fixture.rs", bad);
+    // Test-like files only answer to S1.
+    assert_clean("tests/fixture.rs", bad);
+    assert_clean("examples/fixture.rs", bad);
+    assert_clean("crates/core/tests/fixture.rs", bad);
+}

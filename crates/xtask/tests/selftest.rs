@@ -1,0 +1,36 @@
+//! The linter must accept its own source: `crates/xtask/src` is linted
+//! with the same workspace policy it enforces on everyone else (S1
+//! everywhere, plus D2/B1 — the linter opts into determinism and
+//! barrier discipline for its own code).
+
+use std::path::Path;
+
+#[test]
+fn the_linter_accepts_its_own_source() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels under the workspace root")
+        .to_path_buf();
+    let report = xtask::lint_workspace(&root).expect("workspace scan");
+    let own: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.path.starts_with("crates/xtask/"))
+        .collect();
+    assert!(own.is_empty(), "the linter flags its own source: {own:#?}");
+}
+
+#[test]
+fn the_sweep_actually_scans_the_linter() {
+    // Guard against the exclusion list silently eating crates/xtask/src:
+    // the fixture exclusion must not be wider than intended.
+    let outcome = xtask::lint_source(
+        "crates/xtask/src/selfcheck_probe.rs",
+        "use std::collections::HashMap;\n",
+    );
+    assert!(
+        outcome.violations.iter().any(|v| v.rule == "D2"),
+        "crates/xtask/src must be in D2 scope for the self-test to mean anything"
+    );
+}
