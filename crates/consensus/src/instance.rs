@@ -263,10 +263,24 @@ impl<V: ConsensusValue> ConsensusInstance<V> {
                     let ballot = Ballot::new(self.highest_ballot_number, ProcessId::new(0))
                         .next_for(ctx.me(), ctx.processes().len());
                     self.observe_ballot(ballot);
+                    // Promise the ballot to ourselves synchronously — logged
+                    // *before* the Prepare leaves — instead of waiting for
+                    // the multisend's lossy self-delivery.  The persisted
+                    // promise doubles as the coordinator's issued-ballot
+                    // watermark: without it, a coordinator that crashes
+                    // between issuing `Prepare` and receiving its own copy
+                    // recovers with a stale `highest_ballot_number`, reissues
+                    // the *same* ballot number around a possibly different
+                    // value, and stale value-less `Accepted` acks from the
+                    // previous incarnation then count toward the new value's
+                    // majority — two decisions for one instance.
+                    self.promised = Some(ballot);
+                    self.persist_acceptor(ctx);
                     self.current_ballot = Some(ballot);
                     self.phase = Phase::Preparing;
                     self.promises.clear();
                     self.accepts.clear();
+                    self.promises.insert(ctx.me(), self.accepted.clone());
                     ctx.multisend(InstanceMsg::Prepare { ballot });
                 }
                 Phase::Preparing => {
@@ -617,6 +631,41 @@ mod tests {
         );
         inst.on_message(ProcessId::new(1), InstanceMsg::Decided { value: 3 }, &mut ctx);
         assert_eq!(ctx.storage().metrics().write_ops(), 0);
+    }
+
+    #[test]
+    fn issued_ballot_survives_recovery_and_is_never_reissued() {
+        // Fuzz regression (sim_fuzz seed 88 family): a coordinator that
+        // crashed between multisending `Prepare` and receiving its own
+        // (fair-lossy) copy used to recover with a stale ballot watermark
+        // and reissue the *same* ballot number, letting stale `Accepted`
+        // acks from its previous incarnation count toward a different
+        // value's majority.  The synchronous self-promise at issuance is
+        // the durable watermark; recovery must start strictly above it.
+        let mut ctx = ctx_for(0, 3);
+        let mut inst: ConsensusInstance<u64> = ConsensusInstance::new(k(), true);
+        inst.propose(1, &mut ctx);
+        inst.tick(true, &mut ctx);
+        let first = match ctx.multisent.last() {
+            Some(InstanceMsg::Prepare { ballot }) => *ballot,
+            other => panic!("expected prepare, got {other:?}"),
+        };
+
+        // Crash now: no copy of the Prepare was ever delivered back, so
+        // the persisted self-promise is the only trace of the ballot.
+        let mut recovered: ConsensusInstance<u64> =
+            ConsensusInstance::recover(k(), true, &ctx.storage_handle()).unwrap();
+        assert_eq!(recovered.proposal(), Some(&1));
+        ctx.clear_effects();
+        recovered.tick(true, &mut ctx);
+        let second = match ctx.multisent.last() {
+            Some(InstanceMsg::Prepare { ballot }) => *ballot,
+            other => panic!("expected prepare, got {other:?}"),
+        };
+        assert!(
+            second.number > first.number,
+            "recovered coordinator reissued ballot {first:?} (got {second:?})"
+        );
     }
 
     #[test]

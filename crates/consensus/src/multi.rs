@@ -20,8 +20,8 @@ use std::collections::BTreeMap;
 
 use abcast_fd::{FdConfig, HeartbeatFd, FD_TIMER_SPAN};
 use abcast_net::{ActorContext, MappedContext, TimerId};
-use abcast_storage::keys;
-use abcast_types::{ProcessId, Round};
+use abcast_storage::{keys, SharedStorage, TypedStorageExt};
+use abcast_types::{ProcessId, Result, Round};
 
 use crate::config::{ConsensusConfig, FailureModel};
 use crate::instance::{ConsensusInstance, ConsensusValue};
@@ -79,21 +79,32 @@ impl<V: ConsensusValue> MultiConsensus<V> {
     /// Starts the module, or restarts it after a recovery: reloads every
     /// instance found on stable storage, starts the failure detector and
     /// arms the driver timer.
-    pub fn on_start(&mut self, ctx: &mut dyn ActorContext<ConsensusMsg<V>>) {
+    ///
+    /// A storage *read* error during recovery is returned instead of being
+    /// treated as "nothing stored": acting without the logged promises and
+    /// accepted values would let this acceptor contradict its pre-crash
+    /// self and break agreement.  The caller must fail-stop the process
+    /// (crash-the-process semantics) and retry recovery later.
+    pub fn on_start(&mut self, ctx: &mut dyn ActorContext<ConsensusMsg<V>>) -> Result<()> {
         if self.persist() {
-            if let Ok(stored_keys) = ctx.storage().keys() {
-                for key in stored_keys {
-                    if let Some(instance) = keys::parse_consensus_instance(&key) {
-                        if let std::collections::btree_map::Entry::Vacant(e) = self.instances.entry(instance) {
-                            if let Ok(recovered) = ConsensusInstance::recover(
-                                instance,
-                                true,
-                                ctx.storage(),
-                            ) {
-                                e.insert(recovered);
-                            }
-                        }
+            for key in ctx.storage().keys()? {
+                if let Some(instance) = keys::parse_consensus_instance(&key) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = self.instances.entry(instance) {
+                        e.insert(ConsensusInstance::recover(instance, true, ctx.storage())?);
                     }
+                }
+            }
+            // Restore the forget watermark.  The caller re-derives a floor
+            // from its recovered round, but that round comes from the last
+            // *logged* checkpoint and lags the pre-crash one — a re-derived
+            // floor can regress below rounds whose acceptor records were
+            // already discarded, letting a lagging peer re-run consensus
+            // for a settled round against this now-amnesiac acceptor.
+            // Once records are gone, participation must stay closed.
+            if let Some(floor) = ctx.storage().load_value::<Round>(&keys::consensus_floor())? {
+                if floor > self.forget_floor {
+                    self.forget_floor = floor;
+                    self.instances.retain(|k, _| *k >= floor);
                 }
             }
         }
@@ -102,6 +113,7 @@ impl<V: ConsensusValue> MultiConsensus<V> {
             self.fd.on_start(&mut fd_ctx);
         }
         ctx.set_timer(CONSENSUS_TICK, self.config.retransmit_period);
+        Ok(())
     }
 
     /// The paper's `propose(k, proposed)`: proposes `value` to instance
@@ -113,6 +125,18 @@ impl<V: ConsensusValue> MultiConsensus<V> {
         value: V,
         ctx: &mut dyn ActorContext<ConsensusMsg<V>>,
     ) {
+        // A round below the forget watermark is settled globally and its
+        // records are discarded: this process can neither host a faithful
+        // acceptor for it nor safely coordinate a new ballot (a fresh
+        // instance would start from ballot zero and could re-decide the
+        // round differently).  Proposing down there can only happen when
+        // the caller's delivery state lags its own discard point — the
+        // outcome is obtained through state transfer, never by re-running
+        // consensus, so the proposal is dropped like the late traffic in
+        // `on_message`.
+        if k < self.forget_floor && !self.instances.contains_key(&k) {
+            return;
+        }
         let persist = self.persist();
         let me = ctx.me();
         let is_leader = self.fd.leader(me) == me;
@@ -197,11 +221,18 @@ impl<V: ConsensusValue> MultiConsensus<V> {
     /// corresponding stable-storage records can also be discarded
     /// (Figure 4, line *c*), which the caller does through its storage
     /// handle.
-    pub fn forget_decided_below(&mut self, before: Round) {
+    /// The floor raise is logged through `storage` (the caller's staged
+    /// step view, so it commits atomically with the record discard): a
+    /// floor that regressed after a crash would re-open rounds whose
+    /// acceptor records are gone, breaking Uniform Agreement.
+    pub fn forget_decided_below(&mut self, before: Round, storage: &SharedStorage) {
         self.instances
             .retain(|k, i| *k >= before || !i.is_decided());
         if before > self.forget_floor {
             self.forget_floor = before;
+            if self.persist() {
+                let _ = storage.store_value(&keys::consensus_floor(), &before);
+            }
         }
     }
 
@@ -352,7 +383,7 @@ mod tests {
         type Msg = ConsensusMsg<u64>;
 
         fn on_start(&mut self, ctx: &mut dyn ActorContext<Self::Msg>) {
-            self.multi.on_start(ctx);
+            self.multi.on_start(ctx).expect("recovery reads failed");
             for k in 0..self.instances_to_run {
                 let round = Round::new(k);
                 self.multi.propose(round, self.base + k, ctx);
@@ -545,7 +576,7 @@ mod tests {
     fn forget_decided_below_drops_old_instances() {
         let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
         let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
-        multi.on_start(&mut ctx);
+        multi.on_start(&mut ctx).unwrap();
         for k in 0..5u64 {
             multi.propose(Round::new(k), k, &mut ctx);
             // Simulate a decision arriving.
@@ -558,7 +589,7 @@ mod tests {
         assert_eq!(multi.instance_count(), 5);
         assert_eq!(multi.highest_decided(), Some(Round::new(4)));
         assert_eq!(multi.highest_proposed(), Some(Round::new(4)));
-        multi.forget_decided_below(Round::new(3));
+        multi.forget_decided_below(Round::new(3), &ctx.storage_handle());
         assert_eq!(multi.instance_count(), 2);
         assert_eq!(multi.decision(Round::new(4)), Some(&4));
         assert_eq!(multi.decision(Round::new(1)), None);
@@ -576,7 +607,7 @@ mod tests {
     fn late_message_for_a_forgotten_round_is_dropped() {
         let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
         let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
-        multi.on_start(&mut ctx);
+        multi.on_start(&mut ctx).unwrap();
         for k in 0..5u64 {
             multi.propose(Round::new(k), k, &mut ctx);
             multi.on_message(
@@ -585,7 +616,7 @@ mod tests {
                 &mut ctx,
             );
         }
-        multi.forget_decided_below(Round::new(4));
+        multi.forget_decided_below(Round::new(4), &ctx.storage_handle());
         assert_eq!(multi.instance_count(), 1);
 
         // Delayed duplicates of the whole conversation of round 1 arrive
@@ -619,6 +650,93 @@ mod tests {
         assert_eq!(multi.decision(Round::new(9)), Some(&9));
     }
 
+    /// Fuzz regression (sim_fuzz seed 88 family): the forget watermark
+    /// used to be volatile, so a recovered process re-derived it from its
+    /// recovered round — which comes from the last *logged* checkpoint and
+    /// lags the pre-crash discard point.  The regressed floor re-opened
+    /// rounds whose acceptor records were already gone, letting a lagging
+    /// peer re-run consensus for a settled round against an amnesiac
+    /// acceptor and decide a second value.  The floor is logged when it
+    /// rises and restored by `on_start`; it must never regress.
+    #[test]
+    fn forget_floor_survives_recovery() {
+        let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
+        let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
+        multi.on_start(&mut ctx).unwrap();
+        for k in 0..5u64 {
+            multi.propose(Round::new(k), k, &mut ctx);
+            multi.on_message(
+                ProcessId::new(1),
+                ConsensusMsg::instance(Round::new(k), InstanceMsg::Decided { value: k }),
+                &mut ctx,
+            );
+        }
+        multi.forget_decided_below(Round::new(4), &ctx.storage_handle());
+        assert_eq!(multi.forget_floor(), Round::new(4));
+
+        // Crash: all volatile state gone; rebuild from the same storage.
+        let mut recovered: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
+        recovered.on_start(&mut ctx).unwrap();
+        assert_eq!(
+            recovered.forget_floor(),
+            Round::new(4),
+            "forget watermark regressed across recovery"
+        );
+
+        // Late traffic below the restored floor stays dropped.
+        ctx.clear_effects();
+        let events = recovered.on_message(
+            ProcessId::new(1),
+            ConsensusMsg::instance(
+                Round::new(1),
+                InstanceMsg::Prepare { ballot: abcast_types::Ballot::new(9, ProcessId::new(1)) },
+            ),
+            &mut ctx,
+        );
+        assert!(events.is_empty());
+        assert!(
+            ctx.sent.is_empty() && ctx.multisent.is_empty(),
+            "recovered acceptor must not participate in a discarded round"
+        );
+    }
+
+    /// Fuzz regression (sim_fuzz seed 88 family): a process whose delivery
+    /// state lags its own discard point used to be able to *propose* to a
+    /// round below the forget watermark — the lazily recreated instance
+    /// started from ballot zero and could coordinate a second decision for
+    /// a settled round.  Proposals below the floor are dropped like the
+    /// late traffic in `on_message`; the outcome of such a round is
+    /// obtained through state transfer, never by re-running consensus.
+    #[test]
+    fn propose_below_the_forget_floor_is_refused() {
+        let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
+        let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
+        multi.on_start(&mut ctx).unwrap();
+        for k in 0..3u64 {
+            multi.propose(Round::new(k), k, &mut ctx);
+            multi.on_message(
+                ProcessId::new(1),
+                ConsensusMsg::instance(Round::new(k), InstanceMsg::Decided { value: k }),
+                &mut ctx,
+            );
+        }
+        multi.forget_decided_below(Round::new(3), &ctx.storage_handle());
+        assert_eq!(multi.instance_count(), 0);
+
+        ctx.clear_effects();
+        multi.propose(Round::new(1), 999, &mut ctx);
+        assert_eq!(multi.instance_count(), 0, "no instance recreated below the floor");
+        assert!(!multi.has_proposed(Round::new(1)));
+        assert!(
+            ctx.sent.is_empty() && ctx.multisent.is_empty(),
+            "a refused proposal must not start ballot traffic"
+        );
+
+        // At or above the floor, proposing works normally.
+        multi.propose(Round::new(3), 3, &mut ctx);
+        assert!(multi.has_proposed(Round::new(3)));
+    }
+
     /// An *undecided* instance below the watermark survives
     /// `forget_decided_below` and must keep receiving its messages — only
     /// untracked forgotten rounds are dropped.
@@ -626,7 +744,7 @@ mod tests {
     fn undecided_instance_below_the_floor_keeps_working() {
         let mut multi: MultiConsensus<u64> = MultiConsensus::new(ConsensusConfig::default());
         let mut ctx = abcast_net::testkit::ScriptedContext::new(ProcessId::new(0), 3);
-        multi.on_start(&mut ctx);
+        multi.on_start(&mut ctx).unwrap();
         multi.propose(Round::new(1), 1, &mut ctx); // never decides before the forget
         for k in [0u64, 2] {
             multi.propose(Round::new(k), k, &mut ctx);
@@ -636,7 +754,7 @@ mod tests {
                 &mut ctx,
             );
         }
-        multi.forget_decided_below(Round::new(3));
+        multi.forget_decided_below(Round::new(3), &ctx.storage_handle());
         assert_eq!(multi.undecided_in_flight(), 1);
         let events = multi.on_message(
             ProcessId::new(1),

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod harness;
 pub mod message;
 pub mod properties;
@@ -46,6 +47,7 @@ pub mod protocol;
 pub mod queues;
 pub mod socket;
 
+pub use fuzz::{run_seed, run_seed_detailed, FuzzRun};
 pub use harness::{Cluster, ClusterConfig, FramedAbcast};
 pub use socket::TcpCluster;
 pub use message::AbcastMsg;

@@ -102,47 +102,49 @@ pub fn check_total_order(sequences: &[Vec<AppMessage>]) -> Result<(), Violation>
 /// the prefix relation is checked on *identities in delivery order*, where
 /// a process whose sequence was compacted (or adopted through a state
 /// transfer) is allowed to be missing an arbitrary prefix, but never to
-/// reorder or interleave.
+/// reorder, interleave or skip a message another process delivered inside
+/// the same span.
 pub fn check_total_order_compacted(queues: &[&AgreedQueue]) -> Result<(), Violation> {
     // Build, for every process, the ordered list of explicit identities.
+    // Each is a contiguous *window* of the one true delivery order: the
+    // prefix may have been compacted into a checkpoint (or adopted through
+    // a state transfer), the tail may simply not have been delivered yet.
     let explicit: Vec<Vec<MsgId>> = queues
         .iter()
         .map(|q| q.messages().iter().map(AppMessage::id).collect())
         .collect();
-    // The longest explicit sequence serves as the reference order.
-    let reference = explicit
-        .iter()
-        .max_by_key(|s| s.len())
-        .cloned()
-        .unwrap_or_default();
-    for (i, seq) in explicit.iter().enumerate() {
-        // Every explicit sequence must appear as a contiguous subsequence
-        // at the *end* of the reference (it may be missing a compacted
-        // prefix and may be shorter at the tail, but must not reorder).
-        if seq.is_empty() {
-            continue;
-        }
-        let Some(start) = reference.iter().position(|id| *id == seq[0]) else {
-            return Err(Violation::new(
-                "Total Order",
-                format!(
-                    "process {i} delivered {} which the reference order never delivered",
-                    seq[0]
-                ),
-            ));
-        };
-        for (offset, id) in seq.iter().enumerate() {
-            match reference.get(start + offset) {
-                Some(expected) if expected == id => {}
-                other => {
-                    return Err(Violation::new(
-                        "Total Order",
-                        format!(
-                            "process {i} delivered {id} at offset {offset} where the \
-                             reference order has {other:?}"
-                        ),
-                    ));
-                }
+    // Two windows of the same total order must agree exactly on their
+    // overlap: restricted to the identities both contain, the enclosing
+    // slices (first common to last common, *everything in between
+    // included*) must be identical — same elements, same order, no gaps.
+    // Disjoint windows carry no ordering evidence and are skipped.
+    for (i, a) in explicit.iter().enumerate() {
+        for (j, b) in explicit.iter().enumerate().skip(i + 1) {
+            let in_b: BTreeSet<&MsgId> = b.iter().collect();
+            let common: Vec<usize> = (0..a.len()).filter(|k| in_b.contains(&a[*k])).collect();
+            let (Some(&a_first), Some(&a_last)) = (common.first(), common.last()) else {
+                continue;
+            };
+            let in_common: BTreeSet<&MsgId> = common.iter().map(|k| &a[*k]).collect();
+            let b_first = b.iter().position(|id| in_common.contains(id)).expect("nonempty");
+            let b_last = b.iter().rposition(|id| in_common.contains(id)).expect("nonempty");
+            let slice_a = &a[a_first..=a_last];
+            let slice_b = &b[b_first..=b_last];
+            if slice_a != slice_b {
+                let offset = slice_a
+                    .iter()
+                    .zip(slice_b.iter())
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(slice_a.len().min(slice_b.len()));
+                return Err(Violation::new(
+                    "Total Order",
+                    format!(
+                        "processes {i} and {j} disagree on their overlapping deliveries at \
+                         overlap offset {offset}: {:?} vs {:?}",
+                        slice_a.get(offset),
+                        slice_b.get(offset)
+                    ),
+                ));
             }
         }
     }
@@ -261,6 +263,30 @@ mod tests {
         reordered.append_batch(&[msg(1, 1)]);
         reordered.append_batch(&[msg(1, 0)]);
         let err = check_total_order_compacted(&[&full, &reordered]).unwrap_err();
+        assert_eq!(err.property, "Total Order");
+    }
+
+    #[test]
+    fn lagging_window_behind_a_compacted_reference_is_not_a_violation() {
+        // Found by sim_fuzz seed 144: the process with the *longest*
+        // explicit sequence had compacted p0#0 into its checkpoint, while
+        // a lagging recovering process held only p0#0 explicitly.  The two
+        // windows overlap on nothing contradictory, so this must pass.
+        let mut compacted_leader = AgreedQueue::new();
+        compacted_leader.append_batch(&[msg(0, 0)]);
+        compacted_leader.compact(Payload::new());
+        compacted_leader.append_batch(&[msg(0, 1), msg(0, 2), msg(1, 0), msg(1, 1)]);
+
+        let mut lagging = AgreedQueue::new();
+        lagging.append_batch(&[msg(0, 0)]);
+        assert!(check_total_order_compacted(&[&compacted_leader, &lagging]).is_ok());
+
+        // But a gap *inside* the shared span is still caught: a window
+        // that skips p0#2 between p0#1 and p1#0 disagrees with the leader.
+        let mut gapped = AgreedQueue::new();
+        gapped.append_batch(&[msg(0, 1)]);
+        gapped.append_batch(&[msg(1, 0)]);
+        let err = check_total_order_compacted(&[&compacted_leader, &gapped]).unwrap_err();
         assert_eq!(err.property, "Total Order");
     }
 

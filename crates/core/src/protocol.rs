@@ -31,13 +31,13 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use abcast_consensus::{ConsensusConfig, MultiConsensus, CONSENSUS_TIMER_SPAN};
-use abcast_net::{run_step, Actor, ActorContext, MappedContext, TimerId};
+use abcast_net::{run_step_checked, Actor, ActorContext, MappedContext, TimerId};
 use abcast_storage::{
     keys, FullSetLogger, IncrementalSetLogger, SetLogger, SnapshotDeltaPolicy, StorageKey,
     TypedStorageExt, WriteBatch,
 };
 use abcast_types::{
-    AppMessage, LoggingPolicy, MsgId, Payload, ProcessId, ProtocolConfig, Round, SimTime,
+    AppMessage, LoggingPolicy, MsgId, Payload, ProcessId, ProtocolConfig, Result, Round, SimTime,
 };
 
 use crate::message::AbcastMsg;
@@ -139,6 +139,11 @@ pub struct ProtocolMetrics {
     /// a sequential run.  Experiment E12 reads it to confirm the pipeline
     /// actually filled.
     pub max_rounds_in_flight: u64,
+    /// Stable-storage failures observed (failed step commits and failed
+    /// recovery reads).  Each one fail-stops the process — it goes silent
+    /// until it is crashed and recovered — so any non-zero count outside a
+    /// fault-injection run is a bug.
+    pub storage_failures: u64,
 }
 
 /// The atomic broadcast protocol state machine of one process.
@@ -187,6 +192,15 @@ pub struct AtomicBroadcast {
     checkpoint_provider: Box<dyn CheckpointProvider>,
     pending_deliveries: Vec<DeliveryEvent>,
     delivery_log: Vec<(SimTime, MsgId)>,
+
+    /// Fail-stop latch: set when stable storage misbehaves (a step commit
+    /// or a recovery read fails).  A halted process handles no further
+    /// events and sends nothing — exactly a crash from the protocol's
+    /// point of view, except the simulator keeps running.  Cleared only by
+    /// rebuilding the actor (crash + recovery).
+    halted: bool,
+    /// Human-readable cause of the halt, for fuzzer diagnostics.
+    halt_cause: Option<String>,
 
     metrics: ProtocolMetrics,
 }
@@ -253,7 +267,40 @@ impl AtomicBroadcast {
             checkpoint_provider: Box::new(provider),
             pending_deliveries: Vec::new(),
             delivery_log: Vec::new(),
+            halted: false,
+            halt_cause: None,
             metrics: ProtocolMetrics::default(),
+        }
+    }
+
+    /// `true` if this process fail-stopped on a storage failure and is
+    /// waiting to be crashed and recovered.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The storage failure that halted this process, if any.
+    pub fn halt_cause(&self) -> Option<&str> {
+        self.halt_cause.as_deref()
+    }
+
+    /// Fail-stops the process: records the failure and goes silent until
+    /// crash + recovery.  The paper's model has no "limping" processes —
+    /// a process whose stable storage misbehaves must act crashed, because
+    /// continuing without the write (or without the logged state a read
+    /// would have returned) can contradict what it already told its peers.
+    fn halt_on_storage_failure(&mut self, what: &str, e: &abcast_types::AbcastError) {
+        self.metrics.storage_failures += 1;
+        if !self.halted {
+            self.halted = true;
+            self.halt_cause = Some(format!("{what}: {e}"));
+        }
+    }
+
+    /// Applies a step's commit outcome: a failed commit halts the process.
+    fn note_commit(&mut self, commit: Result<()>) {
+        if let Err(e) = commit {
+            self.halt_on_storage_failure("step commit", &e);
         }
     }
 
@@ -275,7 +322,9 @@ impl AtomicBroadcast {
         ctx: &mut dyn ActorContext<AbcastMsg>,
     ) -> MsgId {
         let payload = payload.into();
-        run_step(ctx, |ctx| self.broadcast_step(payload, ctx))
+        let (id, commit) = run_step_checked(ctx, |ctx| self.broadcast_step(payload, ctx));
+        self.note_commit(commit);
+        id
     }
 
     /// The body of `A-broadcast`, run under a one-barrier batching scope:
@@ -283,6 +332,12 @@ impl AtomicBroadcast {
     /// share a single durability barrier.
     fn broadcast_step(&mut self, payload: Payload, ctx: &mut dyn ActorContext<AbcastMsg>) -> MsgId {
         let id = self.assign_id(ctx);
+        if self.halted {
+            // Fail-stopped (possibly by the epoch read just above): the
+            // submission is dropped, exactly as if the process had crashed
+            // before accepting it.
+            return id;
+        }
         let message = AppMessage::new(id, payload);
         self.metrics.broadcasts += 1;
         if !self.agreed.contains(id) {
@@ -418,7 +473,17 @@ impl AtomicBroadcast {
             self.next_seq = self.next_seq.max(recovered_max);
         } else {
             let key = StorageKey::new("abcast/broadcast-epoch");
-            let epoch: u64 = ctx.storage().load_value(&key).ok().flatten().unwrap_or(0) + 1;
+            let epoch: u64 = match ctx.storage().load_value(&key) {
+                Ok(stored) => stored.unwrap_or(0) + 1,
+                Err(e) => {
+                    // Guessing an epoch after a failed read risks reusing
+                    // identities assigned before a crash (an integrity
+                    // violation); fail-stop and retry after recovery.
+                    self.halt_on_storage_failure("broadcast-epoch read", &e);
+                    return;
+                }
+            };
+            // Staged write: its durability is settled by the step commit.
             let _ = ctx.storage().store_value(&key, &epoch);
             self.next_seq = self.next_seq.max(epoch << 32);
         }
@@ -645,7 +710,12 @@ impl AtomicBroadcast {
     // Recovery (Figure 2 `replay`, Figure 3 `retrieve`)
     // ------------------------------------------------------------------
 
-    fn recover_state(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
+    /// Retrieves the persisted protocol state.  A storage *read* error is
+    /// returned, not treated as "nothing stored": recovering with amnesia
+    /// (an empty `Agreed` prefix, a forgotten `Unordered` set) would let
+    /// this process re-deliver or re-order messages it already settled —
+    /// the caller fail-stops instead.
+    fn recover_state(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) -> Result<()> {
         // Alternative protocol: retrieve (k_p, Agreed_p) and Unordered_p.
         // The persisted image is the last full snapshot plus the delta
         // records appended since; replay applies the deltas in order
@@ -653,19 +723,19 @@ impl AtomicBroadcast {
         // harmless).
         if self.config.logging.logs_agreed() {
             let mut recovered_any = false;
-            if let Ok(Some((kp, agreed))) = ctx
+            if let Some((kp, agreed)) = ctx
                 .storage()
-                .load_value::<(Round, AgreedQueue)>(&keys::agreed_checkpoint())
+                .load_value::<(Round, AgreedQueue)>(&keys::agreed_checkpoint())?
             {
                 self.kp = kp;
                 self.agreed = agreed;
                 recovered_any = true;
             }
             let mut replayed_deltas = 0u64;
-            if let Ok(deltas) = ctx
-                .storage()
-                .load_log_values::<(Round, Vec<AppMessage>)>(&keys::agreed_delta())
             {
+                let deltas = ctx
+                    .storage()
+                    .load_log_values::<(Round, Vec<AppMessage>)>(&keys::agreed_delta())?;
                 for (round, msgs) in deltas {
                     self.agreed.append_in_order(&msgs);
                     if round > self.kp {
@@ -696,9 +766,8 @@ impl AtomicBroadcast {
             }
         }
         if self.config.logging.logs_unordered() {
-            if let Ok(recovered) = self.unordered_logger.recover(ctx.storage().as_ref()) {
-                self.unordered.insert_all(recovered);
-            }
+            let recovered = self.unordered_logger.recover(ctx.storage().as_ref())?;
+            self.unordered.insert_all(recovered);
         }
 
         // `replay()`: re-apply the decisions of every round proposed to (or
@@ -726,6 +795,7 @@ impl AtomicBroadcast {
         self.metrics.replayed_rounds_on_recovery = replayed;
         self.note_watermark();
         self.unordered.subtract_agreed(&self.agreed);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -968,8 +1038,22 @@ impl AtomicBroadcast {
         // Anything older is only reachable through a state transfer, which
         // the gossip handler provides.
         let retention = delta + 4;
-        let cutoff = Round::new(self.kp.value().saturating_sub(retention));
-        self.consensus.forget_decided_below(cutoff);
+        // Write-ahead bound: a round's consensus records may only be
+        // discarded once the `(k, Agreed)` image covering it is durable
+        // (Figure 4 line *c* runs *after* line *b*'s checkpoint).  `kp`
+        // alone is not enough — recovery rebuilds rounds beyond the logged
+        // checkpoint by replaying `decided` records, so until the next
+        // agreed checkpoint those records ARE the durable copy of the
+        // delivery sequence; discarding them and crashing would roll the
+        // recovered sequence back behind rounds the process already settled
+        // (and re-running consensus for such a round can split the cluster).
+        let cutoff = Round::new(
+            self.kp
+                .value()
+                .saturating_sub(retention)
+                .min(self.persisted_round.value()),
+        );
+        self.consensus.forget_decided_below(cutoff, ctx.storage());
         // Below the cutoff, *undecided* instances can only be zombies —
         // rounds below `kp` are committed, hence decided globally; a
         // proposal-less instance there was resurrected by late traffic
@@ -977,14 +1061,22 @@ impl AtomicBroadcast {
         // exempts tracked instances, and `forget_decided_below` retains
         // undecided ones, so nothing else ever reclaims them).
         self.consensus.abandon_undecided_below(cutoff);
-        if let Ok(stored) = ctx.storage().keys() {
-            for key in stored {
-                if let Some(instance) = keys::parse_consensus_instance(&key) {
-                    if instance < cutoff {
-                        let _ = ctx.storage().remove(&key);
+        match ctx.storage().keys() {
+            Ok(stored) => {
+                for key in stored {
+                    if let Some(instance) = keys::parse_consensus_instance(&key) {
+                        if instance < cutoff {
+                            // Staged removal; durability settled by the
+                            // step commit.
+                            let _ = ctx.storage().remove(&key);
+                        }
                     }
                 }
             }
+            // A failed key scan means the disk is unreliable: skipping the
+            // GC would be safe, but a half-trusted storage is not — apply
+            // the same fail-stop discipline as every other read error.
+            Err(e) => self.halt_on_storage_failure("consensus GC key scan", &e),
         }
     }
 }
@@ -995,13 +1087,20 @@ impl AtomicBroadcast {
         // Volatile bookkeeping of the incremental logger is lost on crash.
         self.unordered_logger.forget();
 
-        {
+        let consensus_recovery = {
             let mut consensus_ctx =
                 MappedContext::new(ctx, AbcastMsg::Consensus, CONSENSUS_TIMER_BASE);
-            self.consensus.on_start(&mut consensus_ctx);
+            self.consensus.on_start(&mut consensus_ctx)
+        };
+        if let Err(e) = consensus_recovery {
+            self.halt_on_storage_failure("consensus recovery", &e);
+            return;
         }
 
-        self.recover_state(ctx);
+        if let Err(e) = self.recover_state(ctx) {
+            self.halt_on_storage_failure("state recovery", &e);
+            return;
+        }
         // The forget watermark is volatile: without re-deriving it from the
         // recovered round, stale traffic arriving before the first
         // checkpoint tick could resurrect long-forgotten instances (the
@@ -1015,7 +1114,6 @@ impl AtomicBroadcast {
         // committed, hence decided globally: rebuilt *undecided* instances
         // down there are zombies and are abandoned again.
         self.consensus.abandon_undecided_below(self.kp);
-
         ctx.set_timer(GOSSIP_TIMER, self.config.timers.gossip_period);
         if self.config.logging.logs_agreed() || self.config.application_checkpoints {
             ctx.set_timer(CHECKPOINT_TIMER, self.config.timers.checkpoint_period);
@@ -1084,16 +1182,20 @@ impl AtomicBroadcast {
     }
 }
 
-/// Every handler runs under [`run_step`]: all stable-storage writes of one
-/// event-handling step are committed with a single durability barrier, and
-/// outgoing messages are released only after that commit — one fsync per
-/// step instead of one per logged variable, with the write-ahead ordering
-/// the protocol's recovery argument depends on.
+/// Every handler runs under [`run_step_checked`]: all stable-storage writes
+/// of one event-handling step are committed with a single durability
+/// barrier, and outgoing messages are released only after that commit —
+/// one fsync per step instead of one per logged variable, with the
+/// write-ahead ordering the protocol's recovery argument depends on.  A
+/// failed commit suppresses the step's messages and fail-stops the process
+/// (see [`AtomicBroadcast::is_halted`]); a halted process ignores every
+/// subsequent event until it is crashed and recovered.
 impl Actor for AtomicBroadcast {
     type Msg = AbcastMsg;
 
     fn on_start(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {
-        run_step(ctx, |ctx| self.start_step(ctx));
+        let ((), commit) = run_step_checked(ctx, |ctx| self.start_step(ctx));
+        self.note_commit(commit);
     }
 
     fn on_message(
@@ -1102,14 +1204,25 @@ impl Actor for AtomicBroadcast {
         msg: AbcastMsg,
         ctx: &mut dyn ActorContext<AbcastMsg>,
     ) {
-        run_step(ctx, |ctx| self.message_step(from, msg, ctx));
+        if self.halted {
+            return;
+        }
+        let ((), commit) = run_step_checked(ctx, |ctx| self.message_step(from, msg, ctx));
+        self.note_commit(commit);
     }
 
     fn on_timer(&mut self, timer: TimerId, ctx: &mut dyn ActorContext<AbcastMsg>) {
-        run_step(ctx, |ctx| self.timer_step(timer, ctx));
+        if self.halted {
+            return;
+        }
+        let ((), commit) = run_step_checked(ctx, |ctx| self.timer_step(timer, ctx));
+        self.note_commit(commit);
     }
 
     fn on_client_request(&mut self, payload: Bytes, ctx: &mut dyn ActorContext<AbcastMsg>) {
+        if self.halted {
+            return;
+        }
         self.a_broadcast(payload, ctx);
     }
 }
@@ -1211,10 +1324,12 @@ mod tests {
         let before = ctx.storage().metrics().snapshot();
         actor.a_broadcast(b"m".to_vec(), &mut ctx);
         let delta = ctx.storage().metrics().snapshot().since(&before);
-        // One write for the broadcast-epoch slot (identity management) and
-        // one for the consensus proposal; nothing else.
+        // One write for the broadcast-epoch slot (identity management),
+        // one for the consensus proposal, and one for the coordinator's
+        // self-promise at ballot issuance (the durable issued-ballot
+        // watermark); nothing else.
         assert!(
-            delta.write_ops() <= 2,
+            delta.write_ops() <= 3,
             "basic A-broadcast wrote {} times",
             delta.write_ops()
         );
@@ -1488,6 +1603,73 @@ mod tests {
             "stale traffic must not resurrect a forgotten instance after recovery"
         );
         assert!(!recovered.is_delivered(stale.id()));
+    }
+
+    /// Fuzz regression (sim_fuzz seed 88): the consensus-record GC used to
+    /// take its cutoff from `kp` alone.  Recovery extends `kp` past the
+    /// logged agreed image by replaying durable `decided` records — until
+    /// the next agreed checkpoint those records ARE the durable copy of
+    /// the delivery sequence, and the boot-step GC deleted the very
+    /// records it had just replayed.  A second crash then rolled the
+    /// recovered sequence back behind rounds the process had already
+    /// settled, and re-proposing to such a round could split the cluster
+    /// (two decisions for one instance).  The cutoff is now bounded by
+    /// `persisted_round`: records survive until the `(k, Agreed)` image
+    /// covering them is durable (Figure 4 line *c* after line *b*).
+    #[test]
+    fn gc_retains_decided_records_until_the_agreed_image_covers_them() {
+        let mut ctx = ctx_for(0, 3);
+        let mut actor = alternative_actor(); // delta = 3, retention = 7
+        actor.on_start(&mut ctx);
+        // Deliver 20 rounds without ever running the checkpoint task: the
+        // decided records are the only durable copy of the sequence.
+        for k in 0..20u64 {
+            let m = AppMessage::from_parts(ProcessId::new(1), k, vec![k as u8]);
+            actor.on_message(ProcessId::new(1), decided(k, vec![m]), &mut ctx);
+        }
+        assert_eq!(actor.round(), Round::new(20));
+
+        // First crash/recovery: the replay loop rebuilds kp = 20 from the
+        // decided records, and the boot-step GC must keep all of them —
+        // the agreed image on disk covers nothing yet.
+        let mut recovered = alternative_actor();
+        let mut ctx2: Ctx =
+            ScriptedContext::new(ProcessId::new(0), 3).with_storage(ctx.storage_handle());
+        recovered.on_start(&mut ctx2);
+        assert_eq!(recovered.round(), Round::new(20));
+        let stored = ctx2.storage().keys().unwrap();
+        assert!(
+            stored.contains(&keys::consensus_decided(Round::ZERO)),
+            "boot-step GC discarded a decided record not yet covered by an agreed image"
+        );
+
+        // Second crash/recovery over the same storage: pre-fix, the first
+        // boot's GC had deleted the records below `kp - retention` and the
+        // recovered sequence regressed to the logged image (round 0 here).
+        let mut recovered2 = alternative_actor();
+        let mut ctx3: Ctx =
+            ScriptedContext::new(ProcessId::new(0), 3).with_storage(ctx2.storage_handle());
+        recovered2.on_start(&mut ctx3);
+        assert_eq!(
+            recovered2.round(),
+            Round::new(20),
+            "recovered round regressed: GC outran the agreed checkpoint"
+        );
+
+        // Once the checkpoint task persists the (20, Agreed) image the GC
+        // may discard old records as usual — and recovery still lands on
+        // round 20, now from the image instead of the replay.
+        recovered2.on_timer(CHECKPOINT_TIMER, &mut ctx3);
+        let stored = ctx3.storage().keys().unwrap();
+        assert!(
+            !stored.contains(&keys::consensus_decided(Round::ZERO)),
+            "post-checkpoint GC should discard records the agreed image covers"
+        );
+        let mut recovered3 = alternative_actor();
+        let mut ctx4: Ctx =
+            ScriptedContext::new(ProcessId::new(0), 3).with_storage(ctx3.storage_handle());
+        recovered3.on_start(&mut ctx4);
+        assert_eq!(recovered3.round(), Round::new(20));
     }
 
     #[test]

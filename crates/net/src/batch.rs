@@ -24,7 +24,7 @@ use std::cell::OnceCell;
 use std::sync::Arc;
 
 use abcast_storage::{SharedStorage, StagedStorage};
-use abcast_types::{ProcessId, ProcessSet, SimDuration, SimTime};
+use abcast_types::{ProcessId, ProcessSet, Result, SimDuration, SimTime};
 
 use crate::actor::{ActorContext, TimerId};
 
@@ -60,15 +60,20 @@ impl<'a, M> StepContext<'a, M> {
 
     /// Closes the scope: commits the staged writes with one barrier, then
     /// releases the buffered messages in their original order.
-    pub fn finish(mut self) {
+    ///
+    /// If the commit fails, **no buffered message leaves the process** —
+    /// the write-ahead discipline says a value is on stable storage before
+    /// any message referring to it is sent, and a failed barrier means the
+    /// value may not be stable.  The error is returned so the actor can
+    /// fail-stop (crash-the-process semantics, not panic-the-simulator).
+    pub fn finish(mut self) -> Result<()> {
         if let Some((staged, _)) = self.staged.get() {
             let batch = staged.take_pending();
             if !batch.is_empty() {
-                // A failed commit must not suppress the messages: the
-                // protocol treats storage errors exactly as the underlying
-                // code did (they were `let _ =` ignored per-operation
-                // before).
-                let _ = self.inner.storage().commit_batch(batch);
+                if let Err(e) = self.inner.storage().commit_batch(batch) {
+                    self.effects.clear();
+                    return Err(e);
+                }
             }
         }
         for effect in self.effects.drain(..) {
@@ -77,6 +82,7 @@ impl<'a, M> StepContext<'a, M> {
                 Effect::Multisend(msg) => self.inner.multisend(msg),
             }
         }
+        Ok(())
     }
 }
 
@@ -125,14 +131,28 @@ impl<'a, M> ActorContext<M> for StepContext<'a, M> {
 
 /// Runs `step` under a batching scope: all its storage writes commit with
 /// one barrier before any of its messages leave the process.
+///
+/// The commit outcome is discarded; on failure the step's messages are
+/// still suppressed (see [`StepContext::finish`]).  Callers that must
+/// observe storage failures use [`run_step_checked`].
 pub fn run_step<M, R>(
     ctx: &mut dyn ActorContext<M>,
     step: impl FnOnce(&mut dyn ActorContext<M>) -> R,
 ) -> R {
+    let (result, _commit) = run_step_checked(ctx, step);
+    result
+}
+
+/// [`run_step`], but also returns the commit outcome so the actor can
+/// fail-stop when its stable storage misbehaves.
+pub fn run_step_checked<M, R>(
+    ctx: &mut dyn ActorContext<M>,
+    step: impl FnOnce(&mut dyn ActorContext<M>) -> R,
+) -> (R, Result<()>) {
     let mut scope = StepContext::new(ctx);
     let result = step(&mut scope);
-    scope.finish();
-    result
+    let commit = scope.finish();
+    (result, commit)
 }
 
 #[cfg(test)]
@@ -226,6 +246,28 @@ mod tests {
         assert_eq!(ctx.storage().metrics().snapshot().sync_ops, 0);
         assert_eq!(ctx.multisent, vec!["gossip"]);
         assert!(ctx.timer_deadline(TimerId::new(1)).is_some());
+    }
+
+    #[test]
+    fn a_failed_commit_suppresses_the_buffered_messages() {
+        use abcast_storage::{FaultSchedule, FaultyStorage, InMemoryStorage, WriteFaultKind};
+        let faulty = Arc::new(FaultyStorage::new(
+            Arc::new(InMemoryStorage::new()),
+            FaultSchedule::new().write_fault(0, WriteFaultKind::DiskFull),
+        ));
+        let mut ctx: ScriptedContext<&'static str> =
+            ScriptedContext::new(ProcessId::new(0), 3).with_storage(faulty.clone());
+        let ((), commit) = run_step_checked(&mut ctx, |step| {
+            step.storage()
+                .store_value(&StorageKey::new("a"), &1u64)
+                .unwrap();
+            step.send(ProcessId::new(1), "must not leave");
+            step.multisend("nor this");
+        });
+        assert!(commit.is_err(), "the injected disk-full must surface");
+        assert!(ctx.sent.is_empty(), "write-ahead: no send after a failed commit");
+        assert!(ctx.multisent.is_empty());
+        assert_eq!(faulty.injected().disk_full, 1);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod tcp;
 pub mod testkit;
 
 pub use actor::{Actor, ActorContext, ActorFactory, MappedContext, TimerId};
-pub use batch::{run_step, StepContext};
+pub use batch::{run_step, run_step_checked, StepContext};
 pub use frame::{
     decode_frame, encode_frame, wire_chunks, FrameReassembler, FrameStreamError, FramedActor,
     DEFAULT_MAX_FRAME_LEN, WIRE_PREFIX_LEN,

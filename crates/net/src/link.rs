@@ -152,6 +152,17 @@ impl LinkModel {
         &self.config
     }
 
+    /// Replaces the link configuration mid-run (loss/delay/duplication
+    /// bursts in the fuzzer).  Active partitions are unaffected.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`LinkConfig::validate`], like
+    /// [`LinkModel::new`] does.
+    pub fn set_config(&mut self, config: LinkConfig) {
+        config.validate().expect("invalid link configuration");
+        self.config = config;
+    }
+
     /// Cuts the directed link `from → to`: every transmission on it is lost
     /// until [`LinkModel::heal`] is called.  Used to simulate partitions.
     pub fn cut(&mut self, from: ProcessId, to: ProcessId) {

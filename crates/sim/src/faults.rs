@@ -148,9 +148,16 @@ impl FaultPlan {
     }
 
     /// The scheduled events, sorted by time.
+    ///
+    /// Events at the same instant are ordered crash-before-recovery
+    /// (independently of the order they were added to the plan), so a
+    /// process with both a `Crash` and a `Recover` at time `t` performs a
+    /// crash-recover bounce and ends the instant *up*.  This is the same
+    /// rule [`FaultPlan::classify`] uses, so classification always matches
+    /// what applying the plan to a simulation produces.
     pub fn events(&self) -> Vec<(ProcessId, FaultEvent)> {
         let mut sorted = self.events.clone();
-        sorted.sort_by_key(|(_, e)| e.at());
+        sorted.sort_by_key(|(_, e)| (e.at(), matches!(e, FaultEvent::Recover(_))));
         sorted
     }
 
@@ -174,12 +181,27 @@ impl FaultPlan {
 
     /// Classifies `p`: good if its last scheduled lifecycle event (if any)
     /// is a recovery — i.e. the plan leaves it up.
+    ///
+    /// Deterministic regardless of the order events were added: duplicate
+    /// events at the same `SimTime` classify by the crash-before-recovery
+    /// rule of [`FaultPlan::events`] (a same-instant crash + recover pair
+    /// leaves the process up, hence `Good`).
     pub fn classify(&self, p: ProcessId) -> ProcessClass {
+        self.classify_at(p, SimTime::from_micros(u64::MAX))
+    }
+
+    /// Classifies `p` over the run horizon `[0, horizon]`: only events at
+    /// or before `horizon` count, because later events never fire in a run
+    /// that stops there.  A `Recover` exactly *at* the horizon boundary
+    /// counts (the simulator processes events scheduled at the deadline),
+    /// so such a plan classifies the process `Good`; a recovery strictly
+    /// after the horizon does not save a crashed process.
+    pub fn classify_at(&self, p: ProcessId, horizon: SimTime) -> ProcessClass {
         let last = self
             .events
             .iter()
-            .filter(|(q, _)| *q == p)
-            .max_by_key(|(_, e)| e.at());
+            .filter(|(q, e)| *q == p && e.at() <= horizon)
+            .max_by_key(|(_, e)| (e.at(), matches!(e, FaultEvent::Recover(_))));
         match last {
             None | Some((_, FaultEvent::Recover(_))) => ProcessClass::Good,
             Some((_, FaultEvent::Crash(_))) => ProcessClass::Bad,
@@ -191,6 +213,15 @@ impl FaultPlan {
         (0..n as u32)
             .map(ProcessId::new)
             .filter(|p| self.classify(*p) == ProcessClass::Good)
+            .collect()
+    }
+
+    /// Every process of `n` that is good over the run horizon
+    /// (see [`FaultPlan::classify_at`]).
+    pub fn good_processes_at(&self, n: usize, horizon: SimTime) -> Vec<ProcessId> {
+        (0..n as u32)
+            .map(ProcessId::new)
+            .filter(|p| self.classify_at(*p, horizon) == ProcessClass::Good)
             .collect()
     }
 
@@ -271,6 +302,63 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort();
         assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn duplicate_events_at_the_same_time_classify_order_independently() {
+        // Same instant, both orders of insertion: the crash-before-recovery
+        // rule makes the pair a bounce that leaves the process up.
+        let a = FaultPlan::none().crash(p(0), t(40)).recover(p(0), t(40));
+        let b = FaultPlan::none().recover(p(0), t(40)).crash(p(0), t(40));
+        assert_eq!(a.classify(p(0)), ProcessClass::Good);
+        assert_eq!(b.classify(p(0)), ProcessClass::Good);
+        // The applied order matches: events() puts the crash first in both.
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events()[0].1, FaultEvent::Crash(t(40)));
+        assert_eq!(a.events()[1].1, FaultEvent::Recover(t(40)));
+        // Identical duplicate events stay deterministic too.
+        let c = FaultPlan::none().crash(p(0), t(40)).crash(p(0), t(40));
+        assert_eq!(c.classify(p(0)), ProcessClass::Bad);
+    }
+
+    #[test]
+    fn recover_at_the_horizon_boundary_counts_as_good() {
+        let plan = FaultPlan::none().crash(p(0), t(50)).recover(p(0), t(100));
+        // The simulator processes events scheduled exactly at the deadline,
+        // so a recovery at the horizon leaves the process up.
+        assert_eq!(plan.classify_at(p(0), t(100)), ProcessClass::Good);
+        assert_eq!(plan.good_processes_at(2, t(100)), vec![p(0), p(1)]);
+        // One tick earlier the recovery has not fired yet.
+        assert_eq!(
+            plan.classify_at(p(0), SimTime::from_micros(t(100).as_micros() - 1)),
+            ProcessClass::Bad
+        );
+        assert_eq!(
+            plan.good_processes_at(2, SimTime::from_micros(t(100).as_micros() - 1)),
+            vec![p(1)]
+        );
+        // A recovery scheduled after the horizon never fires in the run.
+        assert_eq!(plan.classify_at(p(0), t(75)), ProcessClass::Bad);
+        // Without a horizon the plan leaves the process good.
+        assert_eq!(plan.classify(p(0)), ProcessClass::Good);
+    }
+
+    #[test]
+    fn random_churn_horizon_recovery_classifies_good_at_the_horizon() {
+        // random_churn recovers at exactly `horizon` when a down period
+        // crosses it — the boundary case classify_at must count.
+        let plan = FaultPlan::none().random_churn(
+            [p(0), p(1), p(2), p(3)],
+            7,
+            d(20),
+            d(60),
+            d(5),
+            d(25),
+            t(300),
+        );
+        for proc in [p(0), p(1), p(2), p(3)] {
+            assert_eq!(plan.classify_at(proc, t(300)), ProcessClass::Good, "{proc}");
+        }
     }
 
     #[test]

@@ -20,8 +20,13 @@
 
 pub mod event;
 pub mod faults;
+pub mod fuzz;
 pub mod simulation;
 
 pub use event::{Event, EventQueue};
 pub use faults::{FaultEvent, FaultPlan, ProcessClass};
+pub use fuzz::{
+    run_campaign, CampaignConfig, CampaignReport, FaultFamily, NemesisAction, NemesisMoment,
+    NemesisPlan, SeedOutcome,
+};
 pub use simulation::{ProcessStats, SimConfig, SimStats, Simulation};

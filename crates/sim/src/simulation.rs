@@ -293,6 +293,25 @@ impl<A: Actor> Simulation<A> {
         self.apply_recover(p);
     }
 
+    /// Whole-deployment restart: crashes every up process at once, then
+    /// boots every process again (each runs its recovery procedure over
+    /// its surviving stable storage).  Models a datacenter power cycle.
+    ///
+    /// Virtual time keeps running and already-scheduled events stay in the
+    /// queue: in-flight messages may still arrive after the restart (the
+    /// fair-lossy channel is allowed to delay arbitrarily), stale timer
+    /// events are discarded by their generation counters, and planned
+    /// crash/recovery events still fire.
+    pub fn restart_deployment(&mut self) {
+        let processes: Vec<ProcessId> = self.processes().iter().collect();
+        for p in &processes {
+            self.apply_crash(*p);
+        }
+        for p in &processes {
+            self.apply_recover(*p);
+        }
+    }
+
     /// Schedules a client request (e.g. an `A-broadcast`) at `p` at time
     /// `at`.
     pub fn client_request_at(&mut self, p: ProcessId, payload: impl Into<Bytes>, at: SimTime) {

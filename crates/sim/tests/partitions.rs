@@ -1,0 +1,174 @@
+//! Partition semantics of the simulated network, pinned through the
+//! transport counters ([`NetworkMetrics`]): a cut link *drops* (it never
+//! delays or reorders), cuts are *directed*, healing restores the link
+//! without replaying what was lost, and partitions compose independently
+//! with process crashes (a copy that would have arrived at a down process
+//! is accounted as `lost_receiver_down`, not as a link drop).
+//!
+//! All tests run over [`SimConfig::reliable`], so every `dropped` or
+//! `lost_receiver_down` count is attributable to the injected fault alone
+//! — the baseline link loses nothing.
+
+use abcast_net::{Actor, ActorContext, TimerId};
+use abcast_sim::{SimConfig, Simulation};
+use abcast_types::{ProcessId, SimDuration};
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Test actor: multisends a sequence number every 10 ms and records every
+/// message it receives together with its sender.
+struct Chatter {
+    sent: u64,
+    received: Vec<(ProcessId, u64)>,
+}
+
+const TICK: TimerId = TimerId::new(1);
+const PERIOD: SimDuration = SimDuration::from_millis(10);
+
+impl Actor for Chatter {
+    type Msg = u64;
+
+    fn on_start(&mut self, ctx: &mut dyn ActorContext<u64>) {
+        ctx.set_timer(TICK, PERIOD);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: u64, _ctx: &mut dyn ActorContext<u64>) {
+        self.received.push((from, msg));
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, ctx: &mut dyn ActorContext<u64>) {
+        self.sent += 1;
+        ctx.multisend(self.sent);
+        ctx.set_timer(TICK, PERIOD);
+    }
+}
+
+fn sim(n: usize) -> Simulation<Chatter> {
+    Simulation::new(SimConfig::reliable(n), |_, _| Chatter {
+        sent: 0,
+        received: Vec::new(),
+    })
+}
+
+fn received_from(s: &Simulation<Chatter>, at: ProcessId, from: ProcessId) -> usize {
+    s.actor(at)
+        .map(|a| a.received.iter().filter(|(f, _)| *f == from).count())
+        .unwrap_or(0)
+}
+
+/// An asymmetric cut is strictly directed: `A → B` traffic is dropped at
+/// the link while `B → A` keeps flowing, and third parties see both.
+#[test]
+fn asymmetric_cut_drops_one_direction_only() {
+    let mut s = sim(3);
+    s.link_mut().cut(p(0), p(1));
+    s.run_for(SimDuration::from_millis(200));
+
+    assert_eq!(
+        received_from(&s, p(1), p(0)),
+        0,
+        "cut direction delivered traffic"
+    );
+    assert!(
+        received_from(&s, p(0), p(1)) >= 10,
+        "reverse direction must keep flowing"
+    );
+    assert!(
+        received_from(&s, p(2), p(0)) >= 10 && received_from(&s, p(2), p(1)) >= 10,
+        "third parties are unaffected"
+    );
+
+    // Every loss is a link drop (no process was ever down), and exactly
+    // the cut direction's transmissions were dropped.
+    let net = s.network_metrics().snapshot();
+    assert_eq!(net.lost_receiver_down, 0);
+    assert!(net.dropped >= 10, "only {} drops recorded", net.dropped);
+    // Every transmission is either delivered, dropped at the cut, or
+    // still in flight when the run stops (delays are 1 ms, so at most a
+    // couple of ticks' worth) — nothing silently vanishes.
+    let in_flight = net.sent - (net.delivered + net.dropped);
+    assert!(
+        in_flight <= 12,
+        "{in_flight} transmissions unaccounted for (sent {}, delivered {}, dropped {})",
+        net.sent,
+        net.delivered,
+        net.dropped
+    );
+}
+
+/// Healing restores the link for *future* transmissions only: counters
+/// stop growing on the drop side, fresh sequence numbers start arriving,
+/// and nothing lost during the cut is replayed.
+#[test]
+fn healing_restores_the_link_without_replay() {
+    let mut s = sim(3);
+    s.link_mut().cut_both(p(0), p(1));
+    s.run_for(SimDuration::from_millis(200));
+    assert_eq!(received_from(&s, p(1), p(0)), 0);
+    assert_eq!(received_from(&s, p(0), p(1)), 0);
+    let during_cut = s.network_metrics().snapshot();
+    assert!(during_cut.dropped >= 20, "both directions must drop");
+
+    s.link_mut().heal_all();
+    s.run_for(SimDuration::from_millis(200));
+
+    let after_heal = s.network_metrics().snapshot().since(&during_cut);
+    assert_eq!(
+        after_heal.dropped, 0,
+        "a healed reliable link must not drop anything"
+    );
+    assert!(
+        received_from(&s, p(1), p(0)) >= 10 && received_from(&s, p(0), p(1)) >= 10,
+        "traffic must resume after the heal"
+    );
+
+    // No replay: the first sequence number p1 sees from p0 is one sent
+    // after the heal, far beyond what was multisent into the cut.
+    let first_seen = s
+        .actor(p(1))
+        .unwrap()
+        .received
+        .iter()
+        .find(|(f, _)| *f == p(0))
+        .map(|(_, seq)| *seq)
+        .unwrap();
+    assert!(
+        first_seen > 15,
+        "sequence {first_seen} from inside the cut window was replayed"
+    );
+}
+
+/// Partitions and crashes are distinct loss mechanisms and are accounted
+/// separately: a cut link drops the copy at the link, a down receiver
+/// loses it at delivery (Section 2.1), and the two compose without
+/// interfering.
+#[test]
+fn partition_composes_with_a_crash() {
+    let mut s = sim(3);
+    s.link_mut().cut(p(0), p(1));
+    s.crash_now(p(2));
+    s.run_for(SimDuration::from_millis(200));
+
+    let net = s.network_metrics().snapshot();
+    assert!(net.dropped >= 10, "the cut p0→p1 must keep dropping");
+    assert!(
+        net.lost_receiver_down >= 10,
+        "copies addressed to the crashed p2 must be lost at delivery"
+    );
+    assert_eq!(received_from(&s, p(1), p(0)), 0);
+
+    // Recover and heal: the deployment reconverges and loss stops.
+    s.recover_now(p(2));
+    s.link_mut().heal_all();
+    let before = s.network_metrics().snapshot();
+    s.run_for(SimDuration::from_millis(200));
+    let delta = s.network_metrics().snapshot().since(&before);
+    assert_eq!(delta.dropped, 0);
+    assert_eq!(delta.lost_receiver_down, 0);
+    assert!(
+        received_from(&s, p(1), p(0)) >= 10 && received_from(&s, p(2), p(0)) >= 10,
+        "everyone hears everyone once faults are lifted"
+    );
+}

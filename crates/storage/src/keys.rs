@@ -92,6 +92,18 @@ pub fn consensus_decided(k: Round) -> StorageKey {
     StorageKey::new(format!("consensus/{k}/decided"))
 }
 
+/// Key of the durable forget watermark: the instance below which this
+/// process has discarded its per-instance consensus records (Figure 4,
+/// line *c*).  The watermark must survive recovery: an acceptor that
+/// discarded round `k`'s records can no longer honour its pre-discard
+/// promises, so it must never participate in round `k` again — a floor
+/// that regressed after a crash would let a lagging peer re-run consensus
+/// for a settled round against amnesiac acceptors and decide a second
+/// value.
+pub fn consensus_floor() -> StorageKey {
+    StorageKey::new("consensus/floor")
+}
+
 /// Extracts the round number from a `abcast/proposed/<k>` key, if it is one.
 pub fn parse_proposed(key: &StorageKey) -> Option<Round> {
     key.as_str()

@@ -15,6 +15,8 @@
 //! * [`FileStorage`] — file-backed backend used by the runnable examples;
 //! * [`WalStorage`] — group-committed, CRC-framed write-ahead log backend
 //!   with torn-tail-tolerant replay and threshold compaction;
+//! * [`FaultyStorage`] — fault-injecting wrapper (disk-full, short-write,
+//!   fsync-failure, read errors at seeded points) for the fuzzer;
 //! * [`StorageRegistry`] — one storage per process of a deployment;
 //! * [`TypedStorageExt`] — typed reads/writes through the binary codec;
 //! * [`keys`] — the documented key layout used by the protocol stack;
@@ -28,6 +30,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod faulty;
 pub mod file;
 pub mod incremental;
 pub mod keys;
@@ -38,6 +41,7 @@ pub mod wal;
 
 pub use api::{SharedStorage, StableStorage, StorageKey, StorageRegistry};
 pub use batch::{BatchOp, StagedStorage, WriteBatch};
+pub use faulty::{FaultSchedule, FaultyStorage, InjectedFaults, WriteFaultKind};
 pub use file::FileStorage;
 pub use incremental::{FullSetLogger, IncrementalSetLogger, SetLogger, SnapshotDeltaPolicy};
 pub use memory::InMemoryStorage;

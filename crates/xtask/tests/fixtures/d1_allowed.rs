@@ -1,0 +1,12 @@
+// D1 fixture: a *justified* wall-clock read in a deterministic crate.
+// The campaign driver measures real elapsed time purely for operator
+// reporting (seeds/sec); no simulated state depends on it, which is the
+// canonical legitimate reason to suppress D1.
+
+fn campaign_rate(seeds: u64) -> f64 {
+    let started = std::time::Instant::now(); // xlint:allow(D1) — operator-facing wall-clock rate only; no simulated state reads it
+    run_all(seeds);
+    seeds as f64 / started.elapsed().as_secs_f64()
+}
+
+fn run_all(_seeds: u64) {}

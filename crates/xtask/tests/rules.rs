@@ -188,6 +188,25 @@ fn a_justified_suppression_silences_the_rule_and_is_inventoried() {
 }
 
 #[test]
+fn a_justified_d1_suppression_is_accepted_and_inventoried() {
+    // The sim crate's fuzz campaign driver reads the wall clock for its
+    // operator-facing seeds/sec rate — the canonical justified D1 allow.
+    // The suppression must silence D1 without tripping S1, and must show
+    // up (used) in the inventory so reviewers can audit it.
+    let src = include_str!("fixtures/d1_allowed.rs");
+    let outcome = lint_source("crates/sim/src/fixture.rs", src);
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    assert_eq!(outcome.suppressions.len(), 1);
+    let s = &outcome.suppressions[0];
+    assert_eq!(s.rule, "D1");
+    assert!(s.used, "the allow must actually cover the Instant::now call");
+    assert!(
+        s.reason.contains("no simulated state"),
+        "the justification must say why determinism is unaffected"
+    );
+}
+
+#[test]
 fn a_suppression_without_a_reason_does_not_suppress() {
     let src = "use std::collections::HashMap; // xlint:allow(D2)\n";
     let fired = rules_fired("crates/core/src/fixture.rs", src);

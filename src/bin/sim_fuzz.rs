@@ -1,0 +1,147 @@
+//! Deterministic fuzz driver for the crash-recovery atomic broadcast stack.
+//!
+//! Two modes:
+//!
+//! * `sim_fuzz --seed <s>` — replay one seed and print exactly what its
+//!   nemesis plan did and what (if anything) went wrong.  This is the
+//!   repro line a failing campaign prints; the seed alone reconstructs
+//!   the whole run.
+//! * `sim_fuzz [--seeds N] [--start S] [--budget-secs T] [--workers W]
+//!   [--out FILE]` — run a campaign: sweep N seeds from S on W workers
+//!   until the wall-clock budget runs out, report per-fault-family
+//!   coverage, and write the JSON coverage report to FILE.
+//!
+//! Exit status is non-zero iff a property violation was found.
+
+use std::time::Duration;
+
+use crash_recovery_abcast::core::fuzz::{run_seed, run_seed_detailed};
+use crash_recovery_abcast::sim::fuzz::{run_campaign, CampaignConfig, FaultFamily};
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match arg_value(args, name) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("sim_fuzz: invalid value for {name}: {raw}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: sim_fuzz --seed <s>\n\
+             \u{20}      sim_fuzz [--seeds N] [--start S] [--budget-secs T] [--workers W] [--out FILE]"
+        );
+        return;
+    }
+
+    if let Some(seed) = arg_value(&args, "--seed") {
+        let seed: u64 = seed.parse().unwrap_or_else(|_| {
+            eprintln!("sim_fuzz: --seed takes an integer");
+            std::process::exit(2);
+        });
+        replay(seed);
+        return;
+    }
+
+    let config = CampaignConfig {
+        start_seed: parse(&args, "--start", 0),
+        max_seeds: parse(&args, "--seeds", 1000),
+        budget: Duration::from_secs(parse(&args, "--budget-secs", 300)),
+        workers: parse(&args, "--workers", 4),
+    };
+    let out = arg_value(&args, "--out");
+
+    let report = run_campaign(&config, run_seed);
+
+    println!(
+        "sim_fuzz: ran {} seeds (from {}) in {:.1}s, {} messages delivered",
+        report.seeds_run,
+        report.start_seed,
+        report.elapsed.as_secs_f64(),
+        report.delivered_total,
+    );
+    println!("fault-family coverage:");
+    for family in FaultFamily::ALL {
+        println!(
+            "  {:<22} {:>6} seeds  ({:>5.1}%)",
+            family.name(),
+            report.family_counts.get(family.name()).unwrap_or(&0),
+            report.coverage(family) * 100.0,
+        );
+    }
+    let under = report.under_covered(0.05);
+    if !under.is_empty() && report.seeds_run >= 100 {
+        println!(
+            "warning: families under 5% coverage: {:?}",
+            under.iter().map(FaultFamily::name).collect::<Vec<_>>()
+        );
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| {
+            eprintln!("sim_fuzz: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("coverage report written to {path}");
+    }
+
+    if report.failures.is_empty() {
+        println!("no property violations found");
+    } else {
+        println!("{} seed(s) violated the broadcast properties:", report.failures.len());
+        for f in &report.failures {
+            println!("  reproduce with: sim_fuzz --seed {}", f.seed);
+            for v in &f.violations {
+                println!("    {v}");
+            }
+        }
+        std::process::exit(1);
+    }
+}
+
+fn replay(seed: u64) {
+    let run = run_seed_detailed(seed);
+    println!("seed {seed}:");
+    println!(
+        "  deployment: {} processes, horizon {}, torn_wal={}",
+        run.plan.processes, run.plan.horizon, run.plan.torn_wal
+    );
+    println!(
+        "  planned families: {:?}",
+        run.plan
+            .families
+            .iter()
+            .map(FaultFamily::name)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  fired families:   {:?}",
+        run.outcome
+            .families
+            .iter()
+            .map(FaultFamily::name)
+            .collect::<Vec<_>>()
+    );
+    println!("  nemesis moments:  {}", run.plan.moments.len());
+    println!("  delivered:        {}", run.outcome.delivered);
+    if run.outcome.violations.is_empty() {
+        println!("  result: PASS");
+    } else {
+        println!("  result: FAIL");
+        for v in &run.outcome.violations {
+            println!("    {v}");
+        }
+        std::process::exit(1);
+    }
+}
