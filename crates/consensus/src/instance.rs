@@ -61,10 +61,10 @@ pub struct ConsensusInstance<V> {
     persist: bool,
 
     // --- state mirrored on stable storage (when `persist` is true) ---
-    proposal: Option<V>,
-    promised: Option<Ballot>,
-    accepted: Option<(Ballot, V)>,
-    decision: Option<V>,
+    proposal: Option<V>,          // xanalyze:twin(consensus_proposal)
+    promised: Option<Ballot>,     // xanalyze:twin(consensus_promised)
+    accepted: Option<(Ballot, V)>, // xanalyze:twin(consensus_accepted)
+    decision: Option<V>,          // xanalyze:twin(consensus_decided)
 
     // --- volatile leader-side state ---
     phase: Phase,

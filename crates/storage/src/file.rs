@@ -223,6 +223,7 @@ fn header_len(data: &[u8]) -> Result<usize> {
 impl StableStorage for FileStorage {
     fn store(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
         let _guard = self.handles.lock();
+        // xlint:allow(L1) — the write must happen under the handle lock: it is what serializes writers per file and orders the rename against concurrent loads
         self.store_locked(key, value)
     }
 
@@ -250,6 +251,7 @@ impl StableStorage for FileStorage {
 
     fn append(&self, key: &StorageKey, value: &[u8]) -> Result<()> {
         let mut handles = self.handles.lock();
+        // xlint:allow(L1) — appends write through the cached handle; the lock both guards the handle map and orders records within the log file
         self.append_locked(&mut handles, key, value, true)
     }
 
@@ -325,6 +327,7 @@ impl StableStorage for FileStorage {
         for op in &ops {
             match op {
                 BatchOp::Store { key, value } => {
+                    // xlint:allow(L1) — prefix durability: deferred append barriers must flush under the same hold, before the store, or a crash could persist the store ahead of an earlier append
                     self.flush_dirty_logs(&handles, &mut dirty_logs)?;
                     self.store_locked(key, value)?;
                 }
@@ -355,6 +358,7 @@ impl StableStorage for FileStorage {
             if !matches!(ext, Some("slot") | Some("log")) {
                 continue;
             }
+            // xlint:allow(L1) — enumeration reads headers under the lock so a concurrent rename cannot make it observe a half-written slot
             if let Some(key) = read_original_key(&path)? {
                 keys.push(key);
             }

@@ -8,15 +8,19 @@
 //!
 //! | Key | Kind | Written by | Paper |
 //! |-----|------|-----------|-------|
-//! | `abcast/proposed/<k>` | slot | sequencer task, before `propose(k, ·)` | §4.2 |
 //! | `abcast/agreed` | slot | checkpoint task: full `(k, Agreed)` snapshot | §5.1 |
 //! | `abcast/agreed/delta` | log | checkpoint task: `(k, new messages)` since the snapshot | §5.1+§5.5 |
 //! | `abcast/unordered` | slot/log | `A-broadcast` when early-return batching is on | §5.4 |
 //! | `abcast/unordered/incr` | log | incremental variant of the above | §5.5 |
+//! | `consensus/<k>/proposal` | slot | consensus proposer, first operation of the instance | §4.2 |
 //! | `consensus/<k>/promised` | slot | consensus acceptor | §3.2 |
 //! | `consensus/<k>/accepted` | slot | consensus acceptor | §3.2 |
 //! | `consensus/<k>/decided` | slot | consensus learner | §3.2 |
-//! | `app/checkpoint` | slot | application-level checkpoint | §5.2 |
+//! | `consensus/floor` | slot | GC task: durable forget watermark (Figure 4, line *c*) | §5.3 |
+//!
+//! `cargo xtask analyze` (rule K1) checks this table against the
+//! constructors below — a row without a constructor, or a constructor
+//! without a row, is a finding.
 
 use abcast_types::Round;
 
@@ -26,12 +30,6 @@ use crate::api::StorageKey;
 pub const ABCAST_PREFIX: &str = "abcast/";
 /// Prefix shared by every key written by the consensus substrate.
 pub const CONSENSUS_PREFIX: &str = "consensus/";
-
-/// Key of the value proposed to the `k`-th consensus instance
-/// (`Proposed_p[k]` in Figure 2).
-pub fn proposed(k: Round) -> StorageKey {
-    StorageKey::new(format!("abcast/proposed/{k}"))
-}
 
 /// Key of the periodic `(k, Agreed)` checkpoint of the alternative protocol
 /// (Figure 4, line *b*).  Holds the most recent *full snapshot*; the
@@ -57,11 +55,6 @@ pub fn unordered() -> StorageKey {
 /// Key of the incremental log of `Unordered` additions (Section 5.5).
 pub fn unordered_incremental() -> StorageKey {
     StorageKey::new("abcast/unordered/incr")
-}
-
-/// Key of the application-level checkpoint (Section 5.2).
-pub fn app_checkpoint() -> StorageKey {
-    StorageKey::new("app/checkpoint")
 }
 
 /// Key of the value this process proposed to consensus instance `k`.
@@ -104,14 +97,6 @@ pub fn consensus_floor() -> StorageKey {
     StorageKey::new("consensus/floor")
 }
 
-/// Extracts the round number from a `abcast/proposed/<k>` key, if it is one.
-pub fn parse_proposed(key: &StorageKey) -> Option<Round> {
-    key.as_str()
-        .strip_prefix("abcast/proposed/")
-        .and_then(|rest| rest.parse::<u64>().ok())
-        .map(Round::new)
-}
-
 /// Extracts the round number from a `consensus/<k>/decided` key, if it is
 /// one.
 pub fn parse_consensus_decided(key: &StorageKey) -> Option<Round> {
@@ -135,23 +120,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn proposed_keys_embed_the_round() {
-        assert_eq!(proposed(Round::new(0)).as_str(), "abcast/proposed/0");
-        assert_eq!(proposed(Round::new(42)).as_str(), "abcast/proposed/42");
-        assert_ne!(proposed(Round::new(1)), proposed(Round::new(2)));
-    }
-
-    #[test]
-    fn parse_proposed_inverts_construction() {
-        for k in [0u64, 1, 7, 1_000_000] {
-            let round = Round::new(k);
-            assert_eq!(parse_proposed(&proposed(round)), Some(round));
-        }
-        assert_eq!(parse_proposed(&agreed_checkpoint()), None);
-        assert_eq!(parse_proposed(&StorageKey::new("abcast/proposed/xyz")), None);
-    }
-
-    #[test]
     fn consensus_keys_embed_round_and_role() {
         let k = Round::new(3);
         assert_eq!(consensus_proposal(k).as_str(), "consensus/3/proposal");
@@ -171,7 +139,7 @@ mod tests {
         ] {
             assert_eq!(parse_consensus_instance(&key), Some(k));
         }
-        assert_eq!(parse_consensus_instance(&proposed(k)), None);
+        assert_eq!(parse_consensus_instance(&agreed_checkpoint()), None);
         assert_eq!(
             parse_consensus_instance(&StorageKey::new("consensus/nope/decided")),
             None
@@ -183,7 +151,7 @@ mod tests {
         let k = Round::new(17);
         assert_eq!(parse_consensus_decided(&consensus_decided(k)), Some(k));
         assert_eq!(parse_consensus_decided(&consensus_promised(k)), None);
-        assert_eq!(parse_consensus_decided(&proposed(k)), None);
+        assert_eq!(parse_consensus_decided(&unordered()), None);
     }
 
     #[test]
@@ -192,12 +160,11 @@ mod tests {
         assert_eq!(agreed_delta().as_str(), "abcast/agreed/delta");
         assert_eq!(unordered().as_str(), "abcast/unordered");
         assert_eq!(unordered_incremental().as_str(), "abcast/unordered/incr");
-        assert_eq!(app_checkpoint().as_str(), "app/checkpoint");
+        assert_eq!(consensus_floor().as_str(), "consensus/floor");
     }
 
     #[test]
     fn abcast_keys_share_the_prefix() {
-        assert!(proposed(Round::new(1)).has_prefix(ABCAST_PREFIX));
         assert!(agreed_checkpoint().has_prefix(ABCAST_PREFIX));
         assert!(unordered().has_prefix(ABCAST_PREFIX));
         assert!(consensus_decided(Round::new(1)).has_prefix(CONSENSUS_PREFIX));

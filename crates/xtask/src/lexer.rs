@@ -23,7 +23,10 @@ pub enum TokKind {
     /// Punctuation; `::` is fused into one token, everything else is one
     /// character.
     Punct,
-    /// String, byte-string, char or byte-char literal (contents opaque).
+    /// String, byte-string, char or byte-char literal.  For string-shaped
+    /// literals the token text is the literal's *contents* (escapes left
+    /// as written) so the analyzer can read storage-key patterns out of
+    /// `StorageKey::new("…")`; char literals keep an opaque `'…'` text.
     Literal,
     /// Numeric literal.
     Number,
@@ -119,13 +122,14 @@ pub fn lex(src: &str) -> LexOutput {
             }
             '"' => {
                 let start_line = line;
-                i = consume_string(&chars, i, &mut line);
-                out.push(TokKind::Literal, "\"…\"", start_line);
+                let end = consume_string(&chars, i, &mut line);
+                out.push(TokKind::Literal, string_contents(&chars, i + 1, end), start_line);
+                i = end;
             }
             'r' | 'b' => {
                 let start_line = line;
-                if let Some(end) = try_consume_prefixed_literal(&chars, i, &mut line) {
-                    out.push(TokKind::Literal, "\"…\"", start_line);
+                if let Some((end, contents)) = try_consume_prefixed_literal(&chars, i, &mut line) {
+                    out.push(TokKind::Literal, contents, start_line);
                     i = end;
                 } else if c == 'r'
                     && next == Some('#')
@@ -195,6 +199,18 @@ fn consume_ident(chars: &[char], start: usize) -> (usize, String) {
     (j, chars[start..j].iter().collect())
 }
 
+/// The contents of a `"…"` literal whose opening quote sits at
+/// `open_quote - 1` and whose consume ended at `end` (just past the closing
+/// quote, or at EOF for an unterminated literal).
+fn string_contents(chars: &[char], contents_start: usize, end: usize) -> String {
+    let contents_end = if end > contents_start && chars.get(end - 1) == Some(&'"') {
+        end - 1
+    } else {
+        end
+    };
+    chars[contents_start..contents_end].iter().collect()
+}
+
 /// Consumes a `"…"` literal starting at the opening quote; returns the
 /// index just past the closing quote.
 fn consume_string(chars: &[char], start: usize, line: &mut u32) -> usize {
@@ -232,15 +248,20 @@ fn consume_char_literal(chars: &[char], start: usize, line: &mut u32) -> usize {
 }
 
 /// Tries to consume a `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'`
-/// literal starting at the `r`/`b` prefix.  Returns the end index, or
-/// `None` when the prefix turns out to start a plain identifier.
-fn try_consume_prefixed_literal(chars: &[char], start: usize, line: &mut u32) -> Option<usize> {
+/// literal starting at the `r`/`b` prefix.  Returns the end index and the
+/// literal's contents, or `None` when the prefix turns out to start a
+/// plain identifier.
+fn try_consume_prefixed_literal(
+    chars: &[char],
+    start: usize,
+    line: &mut u32,
+) -> Option<(usize, String)> {
     let mut j = start;
     let mut raw = false;
     if chars[j] == 'b' {
         j += 1;
         if chars.get(j).copied() == Some('\'') {
-            return Some(consume_char_literal(chars, j, line));
+            return Some((consume_char_literal(chars, j, line), "'…'".to_string()));
         }
         if chars.get(j).copied() == Some('r') {
             raw = true;
@@ -260,6 +281,7 @@ fn try_consume_prefixed_literal(chars: &[char], start: usize, line: &mut u32) ->
             return None; // r#ident or plain ident starting with r/br
         }
         j += 1;
+        let contents_start = j;
         // Scan for `"` followed by `hashes` hash marks; no escapes in raw
         // strings.
         while j < chars.len() {
@@ -274,18 +296,20 @@ fn try_consume_prefixed_literal(chars: &[char], start: usize, line: &mut u32) ->
                     k += 1;
                 }
                 if k == hashes {
-                    return Some(j + 1 + hashes);
+                    let contents: String = chars[contents_start..j].iter().collect();
+                    return Some((j + 1 + hashes, contents));
                 }
             }
             j += 1;
         }
-        Some(j)
+        Some((j, chars[contents_start..j].iter().collect()))
     } else {
         // b"…"
         if chars.get(j).copied() != Some('"') {
             return None;
         }
-        Some(consume_string(chars, j, line))
+        let end = consume_string(chars, j, line);
+        Some((end, string_contents(chars, j + 1, end)))
     }
 }
 
@@ -363,6 +387,18 @@ mod tests {
                 (")", 2),
             ]
         );
+    }
+
+    #[test]
+    fn string_literals_keep_their_contents() {
+        let out = lex("let k = \"abcast/agreed\"; let r = r#\"raw \"x\" body\"#; let b = b\"bytes\";");
+        let lits: Vec<&str> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["abcast/agreed", "raw \"x\" body", "bytes"]);
     }
 
     #[test]

@@ -19,8 +19,17 @@
 //!
 //! Deliberate exceptions carry a same-line
 //! `// xlint:allow(<rule>) — <reason>`; the report inventories every one.
+//!
+//! On top of the same lexer, `cargo xtask analyze` builds a per-file item
+//! model ([`model`]) and a cross-file call graph ([`graph`]) and runs the
+//! semantic rule families catalogued in [`analyze::ANALYZE_RULES`]:
+//! **L1** lock-order/deadlock analysis, **K1** storage-key lifecycle
+//! audit, **V1** volatile-twin persistence checking.
 
+pub mod analyze;
+pub mod graph;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
 
@@ -28,6 +37,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use analyze::ANALYZE_RULES;
 pub use report::LintReport;
 pub use rules::{lint_source, FileOutcome, Suppression, Violation};
 
@@ -52,6 +62,37 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         lint.suppressions.extend(outcome.suppressions);
     }
     Ok(lint)
+}
+
+/// Runs the semantic analyzer over every workspace crate-source file
+/// under `root`.  Only `src/` files are modelled (tests and fixtures are
+/// neither lock nor recovery surface); `files_scanned` counts the
+/// modelled population.
+pub fn analyze_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut models = Vec::new();
+    for rel in files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if rules::is_excluded(&rel_str) {
+            continue;
+        }
+        let Some(krate) = rules::src_crate(&rel_str) else {
+            continue;
+        };
+        let src = fs::read_to_string(root.join(&rel))?;
+        models.push(model::FileModel::build(&rel_str, &krate, &src));
+    }
+    let ws = graph::Workspace::build(models);
+    let (violations, suppressions) = analyze::analyze(&ws);
+    Ok(LintReport {
+        files_scanned: ws.files.len(),
+        violations,
+        suppressions,
+        rules: &analyze::ANALYZE_RULES,
+    })
 }
 
 /// Recursively collects `.rs` files, storing paths relative to `root`.

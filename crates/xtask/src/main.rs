@@ -1,13 +1,17 @@
 //! `cargo xtask` — workspace developer tasks.
 //!
 //! ```text
-//! cargo xtask lint [--report <path>] [--root <dir>]
+//! cargo xtask lint    [--report <path>] [--root <dir>] [--deny-unused-allows]
+//! cargo xtask analyze [--report <path>] [--root <dir>] [--deny-unused-allows]
 //! ```
 //!
-//! `lint` runs the determinism & durability linter over the workspace and
-//! exits non-zero on any unsuppressed violation.  `--report` additionally
-//! writes the machine-readable JSON suppression inventory (uploaded as a
-//! CI artifact).
+//! `lint` runs the determinism & durability linter (lexical rules D1–S1)
+//! and `analyze` the semantic analyzer (lock-order L1, key lifecycle K1,
+//! volatile-twin V1) over the workspace; both exit non-zero on any
+//! unsuppressed violation.  `--report` additionally writes the
+//! machine-readable JSON finding/suppression inventory (uploaded as a CI
+//! artifact), and `--deny-unused-allows` treats a suppression whose rule
+//! never fires on its line as a violation in its own right.
 
 use std::env;
 use std::path::PathBuf;
@@ -16,21 +20,41 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: cargo xtask lint [--report <path>] [--root <dir>]");
+        eprintln!(
+            "usage: cargo xtask <lint|analyze> [--report <path>] [--root <dir>] \
+             [--deny-unused-allows]"
+        );
         return ExitCode::FAILURE;
     };
     match command.as_str() {
-        "lint" => lint(&args[1..]),
+        "lint" => run(Tool::Lint, &args[1..]),
+        "analyze" => run(Tool::Analyze, &args[1..]),
         other => {
-            eprintln!("unknown xtask command `{other}` (available: lint)");
+            eprintln!("unknown xtask command `{other}` (available: lint, analyze)");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint(args: &[String]) -> ExitCode {
+#[derive(Clone, Copy)]
+enum Tool {
+    Lint,
+    Analyze,
+}
+
+impl Tool {
+    fn name(self) -> &'static str {
+        match self {
+            Tool::Lint => "lint",
+            Tool::Analyze => "analyze",
+        }
+    }
+}
+
+fn run(tool: Tool, args: &[String]) -> ExitCode {
     let mut report_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
+    let mut deny_unused = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -48,8 +72,9 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--deny-unused-allows" => deny_unused = true,
             other => {
-                eprintln!("unknown lint flag `{other}`");
+                eprintln!("unknown {} flag `{other}`", tool.name());
                 return ExitCode::FAILURE;
             }
         }
@@ -57,23 +82,38 @@ fn lint(args: &[String]) -> ExitCode {
 
     let cwd = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let root = root.unwrap_or_else(|| xtask::find_workspace_root(&cwd));
-    let lint = match xtask::lint_workspace(&root) {
-        Ok(lint) => lint,
+    let outcome = match tool {
+        Tool::Lint => xtask::lint_workspace(&root),
+        Tool::Analyze => xtask::analyze_workspace(&root),
+    };
+    let mut report = match outcome {
+        Ok(report) => report,
         Err(err) => {
-            eprintln!("xlint: failed to scan {}: {err}", root.display());
+            eprintln!(
+                "xtask {}: failed to scan {}: {err}",
+                tool.name(),
+                root.display()
+            );
             return ExitCode::FAILURE;
         }
     };
+    if deny_unused {
+        report.deny_unused_allows();
+    }
 
-    print!("{}", lint.render_text());
+    print!("{}", report.render_text());
     if let Some(path) = report_path {
-        if let Err(err) = std::fs::write(&path, lint.render_json()) {
-            eprintln!("xlint: failed to write report {}: {err}", path.display());
+        if let Err(err) = std::fs::write(&path, report.render_json()) {
+            eprintln!(
+                "xtask {}: failed to write report {}: {err}",
+                tool.name(),
+                path.display()
+            );
             return ExitCode::FAILURE;
         }
         println!("report written to {}", path.display());
     }
-    if lint.is_clean() {
+    if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,683 @@
+//! Per-file item model: the semantic layer between the token stream and
+//! the cross-file analysis rules.
+//!
+//! The lexer gives a flat token stream; `cargo xtask analyze` needs just
+//! enough *structure* to reason across files — which function a token
+//! belongs to, which type an `impl` block extends, which struct fields
+//! exist and which of them are lock slots, and which functions a body
+//! calls.  [`FileModel::build`] recovers that structure with a
+//! brace-matching scan (no `syn`, the environment is offline).  It is an
+//! approximation by design: item boundaries and call references are
+//! recovered reliably for the idiomatic-Rust shapes this workspace uses,
+//! and the analysis rules built on top degrade towards silence (not
+//! towards false findings) when a shape is not recognised.
+//!
+//! Two source annotations are read here:
+//!
+//! * `// xanalyze:twin(<key_fn>)` on a struct-field declaration line marks
+//!   the field as the volatile twin of the storage key built by
+//!   `keys::<key_fn>()` — input to the V1 volatile-twin checker;
+//! * lock slots need no annotation: any field, static or local whose type
+//!   or initialiser names `Mutex`/`RwLock` is modelled as a lock.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::rules::test_mask;
+
+/// One function item (free function or method).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Bare function name (`on_start`, `commit_batch`, …).
+    pub name: String,
+    /// The `impl` self type this function is a method of, if any.
+    pub self_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body: indices of the opening and closing braces
+    /// (inclusive).  `None` for bodiless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// `true` when the function sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Call references inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// One call reference (`name(…)`, `recv.name(…)` or `Qual::name(…)`).
+#[derive(Debug)]
+pub struct CallSite {
+    /// The called name.
+    pub name: String,
+    /// Token index of the name identifier.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// `true` for method calls (`.name(…)`).
+    pub method: bool,
+    /// The receiver identifier (`self`, a variable) for method calls, or
+    /// the path qualifier (`Type::name`) for qualified calls.
+    pub qualifier: Option<String>,
+}
+
+/// One named struct field.
+#[derive(Debug)]
+pub struct FieldItem {
+    /// The struct the field belongs to.
+    pub struct_name: String,
+    pub name: String,
+    /// 1-based line of the field declaration.
+    pub line: u32,
+    /// `true` when the field type names `Mutex` or `RwLock`.
+    pub is_lock: bool,
+    /// Storage-key function named by an `xanalyze:twin(…)` annotation.
+    pub twin: Option<String>,
+}
+
+/// The item model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Owning crate (`core`, `storage`, …; `root` for the facade).
+    pub krate: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<(u32, String)>,
+    /// Per-token `#[cfg(test)]` mask (same policy as the linter).
+    pub mask: Vec<bool>,
+    pub fns: Vec<FnItem>,
+    pub fields: Vec<FieldItem>,
+    /// Names of lock slots declared in this file (fields, statics and
+    /// `let`-bound `Mutex::new`/`RwLock::new` locals).
+    pub locks: BTreeSet<String>,
+}
+
+impl FileModel {
+    /// Builds the model of `src` as if it lived at `path` in crate
+    /// `krate`.
+    pub fn build(path: &str, krate: &str, src: &str) -> FileModel {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let tokens = lexed.tokens;
+        let impls = collect_impls(&tokens);
+        let mut fns = collect_fns(&tokens, &impls, &mask);
+        let (fields, field_locks) = collect_fields(&tokens, &lexed.comments);
+        let mut locks: BTreeSet<String> = field_locks;
+        locks.extend(collect_static_locks(&tokens));
+        for f in &mut fns {
+            if let Some((open, close)) = f.body {
+                locks.extend(collect_local_locks(&tokens, open, close));
+                f.calls = collect_calls(&tokens, open, close);
+            }
+        }
+        FileModel {
+            path: path.to_string(),
+            krate: krate.to_string(),
+            tokens,
+            comments: lexed.comments,
+            mask,
+            fns,
+            fields,
+            locks,
+        }
+    }
+
+    /// Short stem of the file name (`tcp` for `crates/net/src/tcp.rs`),
+    /// used to qualify lock identities.
+    pub fn stem(&self) -> &str {
+        self.path
+            .rsplit('/')
+            .next()
+            .unwrap_or(&self.path)
+            .trim_end_matches(".rs")
+    }
+
+    /// The function whose body contains token index `tok`, if any.
+    /// Prefers the innermost (last-starting) enclosing body, so helper
+    /// functions nested in test modules resolve correctly.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, f) in self.fns.iter().enumerate() {
+            if let Some((open, close)) = f.body {
+                if open <= tok && tok <= close {
+                    let better = match best {
+                        None => true,
+                        Some(b) => self.fns[b].body.is_some_and(|(bo, _)| open > bo),
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn punct_at(tokens: &[Token], i: usize, text: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+fn is_ident(tokens: &[Token], i: usize) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+}
+
+/// Index of the `}` matching the `{` at `open`; saturates at EOF for
+/// unbalanced input.
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// `true` when token `i` can open a top-level item (`impl`, `struct`):
+/// the previous token ends an item or attribute, or opens a module block.
+fn item_position(tokens: &[Token], i: usize) -> bool {
+    match i.checked_sub(1).and_then(|p| tokens.get(p)) {
+        None => true,
+        Some(prev) => match prev.kind {
+            TokKind::Punct => matches!(prev.text.as_str(), "}" | ";" | "]" | "{"),
+            TokKind::Ident => matches!(prev.text.as_str(), "pub" | "unsafe"),
+            _ => false,
+        },
+    }
+}
+
+/// `(body_open, body_close, self_type)` of every `impl` block.
+fn collect_impls(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut impls = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if ident_at(tokens, i, "impl") && item_position(tokens, i) {
+            let mut name: Option<String> = None;
+            let mut angle = 0i32;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Punct, "<") => angle += 1,
+                    (TokKind::Punct, ">") => angle -= 1,
+                    (TokKind::Punct, "{") if angle <= 0 => break,
+                    (TokKind::Punct, ";") => break,
+                    (TokKind::Ident, "for") if angle <= 0 => name = None,
+                    (TokKind::Ident, "where") if angle <= 0 => {
+                        // Skip the clause; the body brace follows it.
+                        while j + 1 < tokens.len() && !punct_at(tokens, j + 1, "{") {
+                            j += 1;
+                        }
+                    }
+                    (TokKind::Ident, "dyn" | "const" | "unsafe") => {}
+                    (TokKind::Ident, _) if angle <= 0 && name.is_none() => {
+                        name = Some(t.text.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if punct_at(tokens, j, "{") {
+                let close = matching_brace(tokens, j);
+                if let Some(name) = name {
+                    impls.push((j, close, name));
+                }
+                // Items inside the impl are visited by the fn scan; the
+                // impl scan itself continues past the header only.
+            }
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    impls
+}
+
+fn collect_fns(
+    tokens: &[Token],
+    impls: &[(usize, usize, String)],
+    mask: &[bool],
+) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if ident_at(tokens, i, "fn") && is_ident(tokens, i + 1) {
+            let name = tokens[i + 1].text.clone();
+            let line = tokens[i].line;
+            // The body opens at the first `{` after the signature; a `;`
+            // first means a bodiless trait-method declaration.
+            let mut j = i + 2;
+            let mut body = None;
+            while j < tokens.len() {
+                if punct_at(tokens, j, ";") {
+                    break;
+                }
+                if punct_at(tokens, j, "{") {
+                    body = Some((j, matching_brace(tokens, j)));
+                    break;
+                }
+                j += 1;
+            }
+            let self_type = impls
+                .iter()
+                .find(|(open, close, _)| *open < i && i < *close)
+                .map(|(_, _, name)| name.clone());
+            fns.push(FnItem {
+                name,
+                self_type,
+                line,
+                body,
+                in_test: mask.get(i).copied().unwrap_or(false),
+                calls: Vec::new(),
+            });
+            // Continue *inside* the body too: nested test helpers and
+            // closures still declare `fn` items worth modelling.
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    fns
+}
+
+/// Parses `struct Name { … }` fields.  Returns the fields plus the names
+/// of lock-typed ones (the file's lock vocabulary).
+fn collect_fields(
+    tokens: &[Token],
+    comments: &[(u32, String)],
+) -> (Vec<FieldItem>, BTreeSet<String>) {
+    let mut fields = Vec::new();
+    let mut locks = BTreeSet::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(ident_at(tokens, i, "struct") && is_ident(tokens, i + 1) && item_position(tokens, i)) {
+            i += 1;
+            continue;
+        }
+        let struct_name = tokens[i + 1].text.clone();
+        // Find the field braces (skipping generics); `(` or `;` means a
+        // tuple or unit struct — no named fields to model.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let open = loop {
+            match tokens.get(j) {
+                None => break None,
+                Some(t) if t.kind == TokKind::Punct => match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "{" if angle <= 0 => break Some(j),
+                    "(" | ";" if angle <= 0 => break None,
+                    _ => {}
+                },
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else {
+            i += 2;
+            continue;
+        };
+        let close = matching_brace(tokens, open);
+        let mut k = open + 1;
+        while k < close {
+            // Skip attributes and visibility before the field name.
+            if punct_at(tokens, k, "#") {
+                k = skip_group_after(tokens, k + 1, "[", "]");
+                continue;
+            }
+            if ident_at(tokens, k, "pub") {
+                k += 1;
+                if punct_at(tokens, k, "(") {
+                    k = skip_group_after(tokens, k, "(", ")");
+                }
+                continue;
+            }
+            if is_ident(tokens, k) && punct_at(tokens, k + 1, ":") && !punct_at(tokens, k + 2, ":")
+            {
+                let name = tokens[k].text.clone();
+                let line = tokens[k].line;
+                // Scan the type up to the field-separating comma.
+                let mut depth = 0i32;
+                let mut t = k + 2;
+                let mut is_lock = false;
+                while t < close {
+                    let tok = &tokens[t];
+                    if tok.kind == TokKind::Punct {
+                        match tok.text.as_str() {
+                            "<" | "(" | "[" => depth += 1,
+                            ">" | ")" | "]" => depth -= 1,
+                            "," if depth <= 0 => break,
+                            _ => {}
+                        }
+                    } else if tok.kind == TokKind::Ident
+                        && matches!(tok.text.as_str(), "Mutex" | "RwLock")
+                    {
+                        is_lock = true;
+                    }
+                    t += 1;
+                }
+                let twin = twin_annotation(comments, line);
+                if is_lock {
+                    locks.insert(name.clone());
+                }
+                fields.push(FieldItem {
+                    struct_name: struct_name.clone(),
+                    name,
+                    line,
+                    is_lock,
+                    twin,
+                });
+                k = t + 1;
+            } else {
+                k += 1;
+            }
+        }
+        i = close + 1;
+    }
+    (fields, locks)
+}
+
+/// The `xanalyze:twin(<key_fn>)` annotation on `line`, if present.
+fn twin_annotation(comments: &[(u32, String)], line: u32) -> Option<String> {
+    for (l, text) in comments {
+        if *l != line {
+            continue;
+        }
+        if let Some(at) = text.find("xanalyze:twin(") {
+            let rest = &text[at + "xanalyze:twin(".len()..];
+            if let Some(close) = rest.find(')') {
+                let name = rest[..close].trim();
+                if !name.is_empty() {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Names of `static`/`const` items with a lock type.
+fn collect_static_locks(tokens: &[Token]) -> BTreeSet<String> {
+    let mut locks = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if !(ident_at(tokens, i, "static") || ident_at(tokens, i, "const")) {
+            continue;
+        }
+        let mut j = i + 1;
+        if ident_at(tokens, j, "mut") {
+            j += 1;
+        }
+        if !(is_ident(tokens, j) && punct_at(tokens, j + 1, ":")) {
+            continue;
+        }
+        let name = &tokens[j].text;
+        let mut t = j + 2;
+        while t < tokens.len() && !punct_at(tokens, t, "=") && !punct_at(tokens, t, ";") {
+            if tokens[t].kind == TokKind::Ident
+                && matches!(tokens[t].text.as_str(), "Mutex" | "RwLock")
+            {
+                locks.insert(name.clone());
+                break;
+            }
+            t += 1;
+        }
+    }
+    locks
+}
+
+/// Names of `let`-bound locals initialised with `Mutex::new`/`RwLock::new`
+/// inside the body range.
+fn collect_local_locks(tokens: &[Token], open: usize, close: usize) -> BTreeSet<String> {
+    let mut locks = BTreeSet::new();
+    for i in open..close {
+        if !(matches!(tokens[i].text.as_str(), "Mutex" | "RwLock")
+            && tokens[i].kind == TokKind::Ident
+            && punct_at(tokens, i + 1, "::")
+            && ident_at(tokens, i + 2, "new"))
+        {
+            continue;
+        }
+        // Walk back to the start of the statement looking for `let <name>`.
+        let mut j = i;
+        while j > open {
+            let t = &tokens[j - 1];
+            if t.kind == TokKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+            j -= 1;
+        }
+        if ident_at(tokens, j, "let") {
+            let mut n = j + 1;
+            if ident_at(tokens, n, "mut") {
+                n += 1;
+            }
+            if is_ident(tokens, n) {
+                locks.insert(tokens[n].text.clone());
+            }
+        }
+    }
+    locks
+}
+
+/// Identifiers that open expressions or enum variants, not calls.
+const NON_CALL_IDENTS: [&str; 18] = [
+    "if", "match", "while", "for", "return", "break", "loop", "move", "as", "in", "let", "mut",
+    "ref", "else", "Some", "Ok", "Err", "None",
+];
+
+fn collect_calls(tokens: &[Token], open: usize, close: usize) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for i in open..=close.min(tokens.len().saturating_sub(1)) {
+        if tokens[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = tokens[i].text.as_str();
+        if NON_CALL_IDENTS.contains(&name) {
+            continue;
+        }
+        // `name(` directly, or `name::<T>(` via turbofish.
+        let after = if punct_at(tokens, i + 1, "(") {
+            Some(i + 1)
+        } else if punct_at(tokens, i + 1, "::") && punct_at(tokens, i + 2, "<") {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            loop {
+                match tokens.get(j) {
+                    None => break None,
+                    Some(t) if t.kind == TokKind::Punct => match t.text.as_str() {
+                        "<" => {
+                            depth += 1;
+                            j += 1;
+                        }
+                        ">" => {
+                            depth -= 1;
+                            j += 1;
+                            if depth == 0 {
+                                break punct_at(tokens, j, "(").then_some(j);
+                            }
+                        }
+                        ";" | "{" => break None,
+                        _ => j += 1,
+                    },
+                    _ => j += 1,
+                }
+            }
+        } else {
+            None
+        };
+        let Some(_paren) = after else { continue };
+        // The token before distinguishes declarations and paths from
+        // calls: `fn name(` is the declaration itself.
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        if prev.is_some_and(|p| p.kind == TokKind::Ident && p.text == "fn") {
+            continue;
+        }
+        let method = prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == ".");
+        let qualifier = if method {
+            i.checked_sub(2)
+                .map(|q| &tokens[q])
+                .filter(|q| q.kind == TokKind::Ident)
+                .map(|q| q.text.clone())
+        } else if prev.is_some_and(|p| p.kind == TokKind::Punct && p.text == "::") {
+            i.checked_sub(2)
+                .map(|q| &tokens[q])
+                .filter(|q| q.kind == TokKind::Ident)
+                .map(|q| q.text.clone())
+        } else {
+            None
+        };
+        calls.push(CallSite {
+            name: name.to_string(),
+            tok: i,
+            line: tokens[i].line,
+            method,
+            qualifier,
+        });
+    }
+    calls
+}
+
+/// Skips a delimited group whose opener is expected at `at`; returns the
+/// index just past the closer (or `at + 1` when the opener is absent).
+fn skip_group_after(tokens: &[Token], at: usize, open: &str, close: &str) -> usize {
+    if !punct_at(tokens, at, open) {
+        return at + 1;
+    }
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < tokens.len() {
+        if tokens[j].kind == TokKind::Punct {
+            if tokens[j].text == open {
+                depth += 1;
+            } else if tokens[j].text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        FileModel::build("crates/demo/src/lib.rs", "demo", src)
+    }
+
+    #[test]
+    fn fns_and_impl_context_are_recovered() {
+        let m = model(
+            "pub struct S { x: u32 }\n\
+             impl S {\n    fn one(&self) { self.two(); }\n    fn two(&self) {}\n}\n\
+             impl Clone for S { fn clone(&self) -> S { S { x: 0 } } }\n\
+             fn free() {}\n",
+        );
+        let names: Vec<(&str, Option<&str>)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("one", Some("S")),
+                ("two", Some("S")),
+                ("clone", Some("S")),
+                ("free", None),
+            ]
+        );
+        let one = &m.fns[0];
+        assert!(one.calls.iter().any(|c| c.name == "two" && c.method));
+    }
+
+    #[test]
+    fn lock_fields_statics_and_locals_are_collected() {
+        let m = model(
+            "use std::sync::{Mutex, RwLock};\n\
+             static TABLE: Mutex<u32> = Mutex::new(0);\n\
+             struct S { inner: Mutex<Vec<u8>>, map: RwLock<u32>, plain: u32 }\n\
+             fn local() { let guard_src = Mutex::new(1u32); let _ = guard_src.lock(); }\n",
+        );
+        assert!(m.locks.contains("TABLE"));
+        assert!(m.locks.contains("inner"));
+        assert!(m.locks.contains("map"));
+        assert!(m.locks.contains("guard_src"));
+        assert!(!m.locks.contains("plain"));
+        let plain = m.fields.iter().find(|f| f.name == "plain").unwrap();
+        assert!(!plain.is_lock);
+    }
+
+    #[test]
+    fn twin_annotations_attach_to_their_field() {
+        let m = model(
+            "struct P {\n    floor: u64, // xanalyze:twin(consensus_floor)\n    other: u64,\n}\n",
+        );
+        let floor = m.fields.iter().find(|f| f.name == "floor").unwrap();
+        assert_eq!(floor.twin.as_deref(), Some("consensus_floor"));
+        assert!(m.fields.iter().find(|f| f.name == "other").unwrap().twin.is_none());
+    }
+
+    #[test]
+    fn calls_include_turbofish_and_qualified_paths() {
+        let m = model(
+            "fn f(s: &S) {\n    s.load_value::<u64>(&key());\n    Helper::build(1);\n    not_a_macro!(x);\n}\n",
+        );
+        let f = &m.fns[0];
+        assert!(f.calls.iter().any(|c| c.name == "load_value" && c.method));
+        assert!(f
+            .calls
+            .iter()
+            .any(|c| c.name == "build" && c.qualifier.as_deref() == Some("Helper")));
+        assert!(f.calls.iter().any(|c| c.name == "key" && !c.method));
+        assert!(!f.calls.iter().any(|c| c.name == "not_a_macro"));
+    }
+
+    #[test]
+    fn trait_fn_declarations_have_no_body() {
+        let m = model("trait T { fn must(&self); fn given(&self) { self.must(); } }\n");
+        assert_eq!(m.fns[0].name, "must");
+        assert!(m.fns[0].body.is_none());
+        assert!(m.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_the_innermost_body() {
+        let m = model("fn outer() {\n    fn inner() { probe(); }\n}\n");
+        let probe = m
+            .tokens
+            .iter()
+            .position(|t| t.text == "probe")
+            .unwrap();
+        let idx = m.enclosing_fn(probe).unwrap();
+        assert_eq!(m.fns[idx].name, "inner");
+    }
+
+    #[test]
+    fn impl_in_return_position_is_not_an_impl_block() {
+        let m = model("fn make() -> impl Iterator<Item = u32> {\n    std::iter::empty()\n}\n");
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].self_type, None);
+    }
+}

@@ -8,12 +8,26 @@
 
 use crate::rules::{Suppression, Violation, RULES};
 
-/// The whole-workspace lint result.
-#[derive(Debug, Default)]
+/// The whole-workspace lint result.  Shared by both tools: `cargo xtask
+/// lint` fills it with the lexical rules, `analyze` with the semantic
+/// ones; `rules` names the catalogue the findings were produced against.
+#[derive(Debug)]
 pub struct LintReport {
     pub files_scanned: usize,
     pub violations: Vec<Violation>,
     pub suppressions: Vec<Suppression>,
+    pub rules: &'static [(&'static str, &'static str)],
+}
+
+impl Default for LintReport {
+    fn default() -> Self {
+        LintReport {
+            files_scanned: 0,
+            violations: Vec::new(),
+            suppressions: Vec::new(),
+            rules: &RULES,
+        }
+    }
 }
 
 impl LintReport {
@@ -53,17 +67,39 @@ impl LintReport {
         out
     }
 
+    /// `--deny-unused-allows`: promote every inventoried suppression
+    /// whose rule never fired on its line to an S1 violation.  A stale
+    /// allow is a hole a future regression walks through silently.
+    pub fn deny_unused_allows(&mut self) {
+        let extra: Vec<Violation> = self
+            .suppressions
+            .iter()
+            .filter(|s| !s.used)
+            .map(|s| Violation {
+                rule: "S1",
+                path: s.path.clone(),
+                line: s.line,
+                message: format!(
+                    "unused xlint:allow({}) — the rule no longer fires on this line; remove \
+                     the stale suppression",
+                    s.rule
+                ),
+            })
+            .collect();
+        self.violations.extend(extra);
+    }
+
     /// The machine-readable report (`cargo xtask lint --report`).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str("  \"rules\": [\n");
-        for (i, (rule, description)) in RULES.iter().enumerate() {
+        for (i, (rule, description)) in self.rules.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"id\": {}, \"description\": {}}}{}\n",
                 json_str(rule),
                 json_str(description),
-                comma(i, RULES.len())
+                comma(i, self.rules.len())
             ));
         }
         out.push_str("  ],\n");

@@ -55,11 +55,22 @@ pub const RULES: [(&str, &str); 7] = [
     ),
 ];
 
+/// Rule ids owned by `cargo xtask analyze` (the semantic pass).  They
+/// share the `xlint:allow` suppression syntax and the S1 hygiene checks
+/// with the lexical rules above, but each tool inventories only its own
+/// family so an allow is "unused" only to the tool that could use it.
+pub(crate) const ANALYZE_RULE_IDS: [&str; 3] = ["L1", "K1", "V1"];
+
+/// `true` when `name` is a rule id either tool can suppress.
+pub(crate) fn known_rule(name: &str) -> bool {
+    RULES.iter().any(|(rule, _)| *rule == name) || ANALYZE_RULE_IDS.contains(&name)
+}
+
 /// Crates whose protocol/simulator state must evolve deterministically.
 const DETERMINISTIC_CRATES: [&str; 5] = ["core", "consensus", "fd", "sim", "replication"];
 
 /// Crates holding protocol handlers that run under the `run_step` barrier.
-const PROTOCOL_CRATES: [&str; 4] = ["core", "consensus", "fd", "replication"];
+pub(crate) const PROTOCOL_CRATES: [&str; 4] = ["core", "consensus", "fd", "replication"];
 
 /// Crates on the zero-copy payload path.
 const ZERO_COPY_CRATES: [&str; 3] = ["net", "storage", "core"];
@@ -142,6 +153,15 @@ fn classify(rel_path: &str) -> FileScope {
     FileScope::TestLike
 }
 
+/// The owning crate when `rel_path` is crate source (the population the
+/// semantic analyzer models); `None` for tests, fixtures and shims.
+pub(crate) fn src_crate(rel_path: &str) -> Option<String> {
+    match classify(rel_path) {
+        FileScope::Src { krate } => Some(krate),
+        _ => None,
+    }
+}
+
 fn rule_applies(rule: &str, scope: &FileScope, rel_path: &str) -> bool {
     let krate = match scope {
         FileScope::Excluded => return false,
@@ -166,10 +186,10 @@ fn rule_applies(rule: &str, scope: &FileScope, rel_path: &str) -> bool {
 // Suppressions
 // ---------------------------------------------------------------------------
 
-struct ParsedAllow {
-    rule: String,
-    reason: String,
-    line: u32,
+pub(crate) struct ParsedAllow {
+    pub(crate) rule: String,
+    pub(crate) reason: String,
+    pub(crate) line: u32,
 }
 
 /// Extracts every `xlint:allow(<rule>) — <reason>` from the file's line
@@ -178,7 +198,7 @@ struct ParsedAllow {
 /// trailing comments on the offending line, so prose and doc comments
 /// (whose text starts with `/` or `!`) that merely mention the syntax are
 /// never parsed as suppressions.
-fn parse_allows(comments: &[(u32, String)]) -> Vec<ParsedAllow> {
+pub(crate) fn parse_allows(comments: &[(u32, String)]) -> Vec<ParsedAllow> {
     let mut allows = Vec::new();
     for (line, text) in comments {
         if !text.trim_start().starts_with("xlint:allow(") {
@@ -223,7 +243,7 @@ fn parse_allows(comments: &[(u32, String)]) -> Vec<ParsedAllow> {
 /// Marks every token inside a `#[cfg(test)]` item (almost always a
 /// `mod tests { … }` block).  Test code legitimately unwraps, measures wall
 /// time and copies buffers; only suppression hygiene (S1) applies there.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -584,7 +604,6 @@ pub fn lint_source(rel_path: &str, src: &str) -> FileOutcome {
     let findings = scan_rules(&lexed.tokens, &mask, &active, &lexed.comments);
     let allows = parse_allows(&lexed.comments);
 
-    let known_rule = |name: &str| RULES.iter().any(|(rule, _)| *rule == name);
     let mut outcome = FileOutcome::default();
     let mut used = vec![false; allows.len()];
 
@@ -614,7 +633,8 @@ pub fn lint_source(rel_path: &str, src: &str) -> FileOutcome {
                 path: rel_path.to_string(),
                 line: allow.line,
                 message: format!(
-                    "xlint:allow({}) names no known rule (known: D1 D2 B1 B2 Z1 P1 S1)",
+                    "xlint:allow({}) names no known rule (known: D1 D2 B1 B2 Z1 P1 S1 \
+                     L1 K1 V1)",
                     allow.rule
                 ),
             });
@@ -631,7 +651,13 @@ pub fn lint_source(rel_path: &str, src: &str) -> FileOutcome {
         }
     }
 
+    // Inventory only the lexical family: allows for the analyze rules
+    // (L1/K1/V1) are inventoried by `cargo xtask analyze`, and counting
+    // them here would make --deny-unused-allows flag every one as unused.
     for (idx, allow) in allows.into_iter().enumerate() {
+        if !RULES.iter().any(|(rule, _)| *rule == allow.rule) {
+            continue;
+        }
         outcome.suppressions.push(Suppression {
             rule: allow.rule,
             path: rel_path.to_string(),

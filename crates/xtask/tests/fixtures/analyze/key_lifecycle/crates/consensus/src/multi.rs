@@ -1,0 +1,27 @@
+//! The PR 7 forget-floor regression, distilled: recovery reads the floor
+//! back, but no step ever persists it — after any crash the watermark
+//! regresses to zero.  The journal has the inverse bug: it is appended to
+//! on every step but no recovery path replays it.
+
+use storage::keys;
+
+pub struct Multi {
+    floor: u64, // xanalyze:twin(floor)
+}
+
+impl Multi {
+    pub fn on_start(&mut self, storage: &Storage) {
+        if let Some(floor) = storage.load_value::<u64>(&keys::floor()) {
+            self.floor = floor;
+        }
+    }
+
+    pub fn forget_below(&mut self, k: u64) {
+        // The durable write is missing: nothing stores keys::floor().
+        self.floor = k;
+    }
+
+    pub fn log_step(&self, storage: &Storage) {
+        storage.append_value(&keys::journal(), &1u64);
+    }
+}

@@ -1,0 +1,19 @@
+//! Known-bad K1 fixture keys module (lifecycle bugs live at the use
+//! sites in `crates/consensus/src/multi.rs`).
+//!
+//! | Key | Kind |
+//! |-----|------|
+//! | `fix/floor` | slot |
+//! | `fix/log` | log |
+
+use crate::api::StorageKey;
+
+/// Durable forget watermark.
+pub fn floor() -> StorageKey {
+    StorageKey::new("fix/floor")
+}
+
+/// Per-step journal.
+pub fn journal() -> StorageKey {
+    StorageKey::new("fix/log")
+}

@@ -1,0 +1,26 @@
+//! Known-good twin of the forget-floor fixture: the floor raise persists
+//! the watermark in the same step, and recovery restores both keys.
+
+use storage::keys;
+
+pub struct Multi {
+    floor: u64, // xanalyze:twin(floor)
+}
+
+impl Multi {
+    pub fn on_start(&mut self, storage: &Storage) {
+        if let Some(floor) = storage.load_value::<u64>(&keys::floor()) {
+            self.floor = floor;
+        }
+        for _entry in storage.load_log_values::<u64>(&keys::journal()) {}
+    }
+
+    pub fn forget_below(&mut self, storage: &Storage, k: u64) {
+        self.floor = k;
+        storage.store_value(&keys::floor(), &k);
+    }
+
+    pub fn log_step(&self, storage: &Storage) {
+        storage.append_value(&keys::journal(), &1u64);
+    }
+}

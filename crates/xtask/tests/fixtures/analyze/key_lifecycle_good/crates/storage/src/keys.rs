@@ -1,0 +1,18 @@
+//! Known-good twin of the `key_lifecycle` keys module.
+//!
+//! | Key | Kind |
+//! |-----|------|
+//! | `fix/floor` | slot |
+//! | `fix/log` | log |
+
+use crate::api::StorageKey;
+
+/// Durable forget watermark.
+pub fn floor() -> StorageKey {
+    StorageKey::new("fix/floor")
+}
+
+/// Per-step journal.
+pub fn journal() -> StorageKey {
+    StorageKey::new("fix/log")
+}

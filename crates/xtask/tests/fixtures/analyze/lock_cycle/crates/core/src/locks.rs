@@ -1,0 +1,30 @@
+//! Known-bad L1 fixture: `ab` takes `a` then `b` while `ba` takes them in
+//! the opposite order — the classic deadlock cycle — and `persist` holds
+//! `a` across a blocking barrier.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    file: std::fs::File,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let x = self.a.lock().unwrap();
+        let y = self.b.lock().unwrap();
+        *x + *y
+    }
+
+    pub fn ba(&self) -> u64 {
+        let y = self.b.lock().unwrap();
+        let x = self.a.lock().unwrap();
+        *x + *y
+    }
+
+    pub fn persist(&self) {
+        let _guard = self.a.lock().unwrap();
+        self.file.sync_data().unwrap();
+    }
+}

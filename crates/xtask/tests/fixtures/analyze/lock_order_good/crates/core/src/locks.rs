@@ -1,0 +1,34 @@
+//! Known-good twin of `lock_cycle`: every path takes `a` before `b`, and
+//! the barrier runs only after the guard is dropped.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+    file: std::fs::File,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let x = self.a.lock().unwrap();
+        let y = self.b.lock().unwrap();
+        *x + *y
+    }
+
+    pub fn reset(&self) {
+        let mut x = self.a.lock().unwrap();
+        let mut y = self.b.lock().unwrap();
+        *x = 0;
+        *y = 0;
+    }
+
+    pub fn persist(&self) {
+        let guard = self.a.lock().unwrap();
+        let dirty = *guard > 0;
+        drop(guard);
+        if dirty {
+            self.file.sync_data().unwrap();
+        }
+    }
+}

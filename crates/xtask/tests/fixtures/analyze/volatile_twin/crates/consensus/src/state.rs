@@ -1,0 +1,26 @@
+//! Known-bad V1 fixture: `raise` mutates the annotated field but nothing
+//! on its path writes the storage twin, and `ghost` names a constructor
+//! that does not exist.
+
+use storage::keys;
+
+pub struct State {
+    floor: u64, // xanalyze:twin(floor)
+    ghost: u64, // xanalyze:twin(missing)
+}
+
+impl State {
+    pub fn on_start(&mut self, storage: &Storage) {
+        if let Some(floor) = storage.load_value::<u64>(&keys::floor()) {
+            self.floor = floor;
+        }
+    }
+
+    pub fn raise(&mut self, k: u64) {
+        self.floor = k;
+    }
+
+    pub fn persist(&self, storage: &Storage) {
+        storage.store_value(&keys::floor(), &self.floor);
+    }
+}

@@ -1,0 +1,12 @@
+//! Keys module for the V1 fixtures.
+//!
+//! | Key | Kind |
+//! |-----|------|
+//! | `twin/floor` | slot |
+
+use crate::api::StorageKey;
+
+/// Durable twin of the volatile floor field.
+pub fn floor() -> StorageKey {
+    StorageKey::new("twin/floor")
+}

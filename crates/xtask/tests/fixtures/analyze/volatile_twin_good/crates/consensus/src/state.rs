@@ -1,0 +1,26 @@
+//! Known-good twin of the V1 fixture: the mutation and the durable write
+//! travel together — `raise` calls `persist`, so the twin write is in the
+//! mutating function's callee closure.
+
+use storage::keys;
+
+pub struct State {
+    floor: u64, // xanalyze:twin(floor)
+}
+
+impl State {
+    pub fn on_start(&mut self, storage: &Storage) {
+        if let Some(floor) = storage.load_value::<u64>(&keys::floor()) {
+            self.floor = floor;
+        }
+    }
+
+    pub fn raise(&mut self, storage: &Storage, k: u64) {
+        self.floor = k;
+        self.persist(storage);
+    }
+
+    pub fn persist(&self, storage: &Storage) {
+        storage.store_value(&keys::floor(), &self.floor);
+    }
+}

@@ -1,7 +1,11 @@
 //! Fixture-based tests: every rule has at least one known-bad snippet it
 //! fires on and a known-good twin it accepts, plus suppression-syntax and
-//! scoping tests.  Fixtures live under `tests/fixtures/` (excluded from
-//! the workspace sweep — they are deliberately full of violations).
+//! scoping tests.  Lexical-rule fixtures live under `tests/fixtures/` and
+//! semantic-rule fixtures are mini-workspaces under
+//! `tests/fixtures/analyze/` (all excluded from the workspace sweep —
+//! they are deliberately full of violations).
+
+use std::path::Path;
 
 use xtask::lint_source;
 
@@ -256,6 +260,112 @@ mod tests {
     let after = format!("{src}\nuse std::collections::HashMap;\n");
     let fired = rules_fired("crates/core/src/fixture.rs", &after);
     assert_eq!(fired, vec!["D2"]);
+}
+
+// --- Analyze fixtures (L1/K1/V1) ------------------------------------------
+
+/// Runs the semantic analyzer over one of the mini-workspaces under
+/// `tests/fixtures/analyze/`.
+fn analyze_fixture(name: &str) -> xtask::LintReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/analyze")
+        .join(name);
+    xtask::analyze_workspace(&root).expect("fixture scan")
+}
+
+#[test]
+fn l1_fires_on_lock_order_cycles_and_blocking_io_under_a_lock() {
+    let report = analyze_fixture("lock_cycle");
+    assert!(report.violations.iter().all(|v| v.rule == "L1"), "{:#?}", report.violations);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("lock-order cycle")),
+        "the ab/ba inversion must be reported as a cycle: {:#?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("held across blocking `sync_data`")),
+        "the barrier under the guard must be flagged: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn l1_accepts_consistent_order_and_drop_before_blocking() {
+    let report = analyze_fixture("lock_order_good");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+}
+
+#[test]
+fn the_forget_floor_bug_trips_both_k1_and_v1() {
+    let report = analyze_fixture("key_lifecycle");
+    // The PR 7 bug: recovery reads the floor, nothing persists it.
+    assert!(
+        report.violations.iter().any(|v| {
+            v.rule == "K1" && v.path.ends_with("multi.rs") && v.message.contains("never persisted")
+        }),
+        "the unwritten floor must be reported at its recovery read: {:#?}",
+        report.violations
+    );
+    // The same bug seen from the field side: the volatile floor is raised
+    // with no durable write on its step.
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "V1" && v.message.contains("silently diverges")),
+        "the write-free floor raise must be reported: {:#?}",
+        report.violations
+    );
+    // The inverse K1 half: the journal is written but never replayed on
+    // recovery.
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "K1" && v.message.contains("no recovery path")),
+        "the unreplayed journal must be reported at its write: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn k1_accepts_persist_plus_recovery_read() {
+    let report = analyze_fixture("key_lifecycle_good");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+}
+
+#[test]
+fn v1_fires_on_unpersisted_mutations_and_unknown_twins() {
+    let report = analyze_fixture("volatile_twin");
+    assert!(report.violations.iter().all(|v| v.rule == "V1"), "{:#?}", report.violations);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("silently diverges")),
+        "the write-free mutation must be flagged: {:#?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("names no key constructor")),
+        "the dangling twin annotation must be flagged: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn v1_accepts_a_twin_write_in_the_callee_closure() {
+    let report = analyze_fixture("volatile_twin_good");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
 }
 
 // --- Scoping --------------------------------------------------------------

@@ -1,24 +1,40 @@
 //! The linter must accept its own source: `crates/xtask/src` is linted
 //! with the same workspace policy it enforces on everyone else (S1
 //! everywhere, plus D2/B1 — the linter opts into determinism and
-//! barrier discipline for its own code).
+//! barrier discipline for its own code).  The semantic analyzer holds
+//! itself to the same standard.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-#[test]
-fn the_linter_accepts_its_own_source() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/xtask sits two levels under the workspace root")
-        .to_path_buf();
-    let report = xtask::lint_workspace(&root).expect("workspace scan");
+        .to_path_buf()
+}
+
+#[test]
+fn the_linter_accepts_its_own_source() {
+    let report = xtask::lint_workspace(&workspace_root()).expect("workspace scan");
     let own: Vec<_> = report
         .violations
         .iter()
         .filter(|v| v.path.starts_with("crates/xtask/"))
         .collect();
     assert!(own.is_empty(), "the linter flags its own source: {own:#?}");
+}
+
+#[test]
+fn the_analyzer_accepts_its_own_source() {
+    let report = xtask::analyze_workspace(&workspace_root()).expect("workspace scan");
+    assert!(report.files_scanned > 0, "the analyzer modelled no files");
+    let own: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.path.starts_with("crates/xtask/"))
+        .collect();
+    assert!(own.is_empty(), "the analyzer flags its own source: {own:#?}");
 }
 
 #[test]

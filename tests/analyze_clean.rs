@@ -1,0 +1,28 @@
+//! Tier-1 gate: the workspace must be clean under `cargo xtask analyze`.
+//!
+//! This is the same scan CI runs, executed as a plain test so the
+//! semantic rules (L1 lock-order, K1 key lifecycle, V1 volatile-twin) are
+//! enforced by `cargo test` alone — no extra command to forget.  The gate
+//! also denies unused allows: a suppression whose rule no longer fires is
+//! a stale exception that must be pruned, not carried forever.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_is_analyze_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut report = xtask::analyze_workspace(root).expect("workspace scan");
+    report.deny_unused_allows();
+    assert!(
+        report.is_clean(),
+        "cargo xtask analyze found violations:\n{}",
+        report.render_text()
+    );
+    // The gate only means something if the model actually covered the
+    // crate sources.
+    assert!(
+        report.files_scanned > 30,
+        "suspiciously small model: {} files scanned",
+        report.files_scanned
+    );
+}

@@ -9,7 +9,9 @@ use std::path::Path;
 #[test]
 fn the_workspace_is_xlint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let report = xtask::lint_workspace(root).expect("workspace scan");
+    let mut report = xtask::lint_workspace(root).expect("workspace scan");
+    // CI passes --deny-unused-allows; the gate must match it.
+    report.deny_unused_allows();
     assert!(
         report.is_clean(),
         "cargo xtask lint found violations:\n{}",

@@ -297,14 +297,14 @@ fn file_backed_storage_round_trips_protocol_records() {
     {
         let storage = FileStorage::open(&dir).unwrap();
         storage
-            .store_value(&crash_recovery_abcast::storage::keys::proposed(
+            .store_value(&crash_recovery_abcast::storage::keys::consensus_proposal(
                 crash_recovery_abcast::Round::new(3),
             ), &vec![1u64, 2, 3])
             .unwrap();
     }
     let storage = FileStorage::open(&dir).unwrap();
     let value: Option<Vec<u64>> = storage
-        .load_value(&crash_recovery_abcast::storage::keys::proposed(
+        .load_value(&crash_recovery_abcast::storage::keys::consensus_proposal(
             crash_recovery_abcast::Round::new(3),
         ))
         .unwrap();
