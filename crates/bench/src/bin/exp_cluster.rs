@@ -1,0 +1,26 @@
+//! Experiment binary: regenerates the E15 cluster-size sweep and emits
+//! the `BENCH_cluster.json` baseline.
+//!
+//! Pass `--quick` for a reduced sweep (`N ∈ {3, 5}`, used by CI) and
+//! `--out <path>` to choose where the JSON baseline is written (default:
+//! `BENCH_cluster.json` in the current directory).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_cluster.json".to_string());
+
+    let rows = abcast_bench::experiments::e15_cluster::run_rows(quick);
+    let table = abcast_bench::experiments::e15_cluster::table_from_rows(&rows);
+    table.print();
+    println!("{}", table.to_markdown());
+
+    let json = abcast_bench::experiments::e15_cluster::to_json(&rows, quick);
+    std::fs::write(&out, &json).expect("baseline JSON must be writable");
+    println!("baseline written to {out}");
+}

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E14).  See the crate documentation and
+//! The experiment suite (E1–E15).  See the crate documentation and
 //! `EXPERIMENTS.md` for the mapping from paper claims to experiments.
 
 pub mod e01_log_ops;
@@ -15,6 +15,7 @@ pub mod e11_storage;
 pub mod e12_pipeline;
 pub mod e13_codec;
 pub mod e14_socket;
+pub mod e15_cluster;
 
 use crate::report::Table;
 
@@ -39,6 +40,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e12_pipeline::run(quick),
         e13_codec::run(quick),
         e14_socket::run(quick),
+        e15_cluster::run(quick),
     ]
 }
 
@@ -50,7 +52,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables_in_quick_mode() {
         let tables = super::run_all(true);
-        assert_eq!(tables.len(), 14);
+        assert_eq!(tables.len(), 15);
         for table in &tables {
             assert!(!table.is_empty(), "{} produced no rows", table.id);
             assert!(!table.columns.is_empty());

@@ -124,15 +124,25 @@ impl TcpCluster {
     /// Blocks until every process in `who` is up and has delivered every
     /// identity in `ids`, or until `timeout` elapses.  Returns `true` on
     /// success.
+    ///
+    /// Parks on the runtime's [`abcast_net::Activity`] signal between
+    /// probes instead of sleep-polling: a process is re-inspected only
+    /// after some worker made protocol progress, so the wait costs no CPU
+    /// while the cluster is quiescent and reacts immediately when a
+    /// delivery lands.
     pub fn run_until_delivered(
         &self,
         who: &[ProcessId],
         ids: &[MsgId],
         timeout: Duration,
     ) -> bool {
-        let deadline = Instant::now() + timeout; // xlint:allow(D1) — polling deadline against real worker threads
+        let deadline = Instant::now() + timeout; // xlint:allow(D1) — wall-clock deadline against real worker threads
+        let activity = self.runtime.activity();
         'processes: for &p in who {
             loop {
+                // Epoch before the probe: progress landing between the
+                // inspect and the wait wakes the wait immediately.
+                let seen = activity.epoch();
                 let ids = ids.to_vec(); // xlint:allow(Z1) — a handful of Copy ids moved into the inspect closure, not payload bytes
                 let done = self
                     .runtime
@@ -141,10 +151,13 @@ impl TcpCluster {
                 if done {
                     continue 'processes;
                 }
-                if Instant::now() >= deadline { // xlint:allow(D1) — polling deadline against real worker threads
+                let left = deadline.saturating_duration_since(Instant::now()); // xlint:allow(D1) — wall-clock deadline against real worker threads
+                if left.is_zero() {
                     return false;
                 }
-                std::thread::sleep(Duration::from_millis(1));
+                // Capped wait as a liveness backstop (a down process makes
+                // no progress but can still be recovered externally).
+                activity.wait_past(seen, left.min(Duration::from_millis(50)));
             }
         }
         true

@@ -23,15 +23,18 @@
 //!   prefixes for vectored writes, zero-copy reassembly of frames out of
 //!   arbitrarily fragmented reads;
 //! * [`TcpRuntime`] / [`TcpConfig`] / [`PeerConn`] — the real socket
-//!   transport: per-peer reconnecting TCP connections over `std::net`,
-//!   with stream faults mapped back onto the fair-lossy model;
+//!   transport: one epoll-backed poller thread owning every reconnecting
+//!   TCP connection, with stream faults mapped back onto the fair-lossy
+//!   model and [`LinkPolicy`] for per-pair outbound delay shaping;
+//! * [`poll`] — the minimal readiness layer under it: raw
+//!   `epoll`/`eventfd` bindings, nonblocking connect, and a timer wheel;
 //! * [`LinkConfig`] / [`LinkModel`] — the fair-lossy link model (loss,
 //!   duplication, arbitrary delay, partitions);
 //! * [`ThreadRuntime`] — a live, one-thread-per-process runtime used by the
 //!   runnable examples;
 //! * [`NetworkMetrics`] — transport counters used by the experiments.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod actor;
@@ -39,6 +42,7 @@ pub mod batch;
 pub mod frame;
 pub mod link;
 pub mod metrics;
+pub mod poll;
 pub mod runtime;
 pub mod tcp;
 pub mod testkit;
@@ -52,4 +56,4 @@ pub use frame::{
 pub use link::{LinkConfig, LinkModel, PlannedDelivery};
 pub use metrics::{NetworkMetrics, NetworkSnapshot, TcpMetrics, TcpSnapshot};
 pub use runtime::{RuntimeConfig, ThreadRuntime};
-pub use tcp::{PeerConn, TcpConfig, TcpRuntime};
+pub use tcp::{Activity, LinkPolicy, PeerConn, TcpConfig, TcpRuntime};

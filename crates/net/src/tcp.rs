@@ -4,12 +4,24 @@
 //! channels; this module replaces the channels with `std::net` sockets
 //! while keeping the actor-message interface identical, so the whole stack
 //! (failure-detector heartbeats, consensus, atomic broadcast, WAL storage)
-//! runs unmodified over a real wire.  [`TcpRuntime`] deploys one worker
-//! thread per process plus, per ordered process pair, one *simplex*
-//! connection: the sender dials, identifies itself with a tiny handshake,
-//! and streams length-prefixed frames; the receiver reassembles them with a
-//! per-connection [`PeerConn`] buffer and hands complete frames to the
-//! actor as zero-copy [`Bytes`] views of the read buffer.
+//! runs unmodified over a real wire.
+//!
+//! The I/O plane is a **readiness-based event loop**: [`TcpRuntime`] runs
+//! one worker thread per process (the actors) plus a single *poller*
+//! thread ([`crate::poll`]) that owns every listener, every inbound and
+//! every outbound socket of the deployment — accepts, handshakes,
+//! reconnect backoff, vectored writes and reads all happen on that one
+//! thread over nonblocking fds, so a cluster of `n` processes costs
+//! `n + 1` OS threads instead of the `O(n²)` of thread-per-connection.
+//! Per ordered process pair there is one *simplex* connection: the sender
+//! dials (nonblocking, completion reported by the poller), identifies
+//! itself with a tiny handshake, and streams length-prefixed frames; the
+//! receiver reassembles them with a per-connection [`PeerConn`] buffer and
+//! hands complete frames to the actor as zero-copy [`Bytes`] views of the
+//! read chunk.  Workers hand outbound frames to the poller over a command
+//! queue plus an `eventfd` wakeup; each connection carries a bounded write
+//! queue, and a frame that would overflow it is a counted fair-lossy drop
+//! (backpressure never blocks a worker).
 //!
 //! TCP introduces exactly the failure modes the paper's fair-lossy link
 //! abstracts away, and the transport maps each back onto that model
@@ -17,26 +29,31 @@
 //!
 //! * **partial reads** — the reassembly buffer holds torn prefixes/bodies
 //!   until the stream completes them ([`crate::frame::FrameReassembler`]);
-//! * **torn writes / connection resets** — the frame being written is lost
-//!   (one fair-lossy drop, counted), the connection is re-dialed with
-//!   exponential backoff, and the receive-side reassembly buffer dies with
-//!   the connection so a torn frame can never desynchronize the next one;
+//! * **torn writes / connection resets** — the frames queued on the dead
+//!   connection are lost (counted fair-lossy drops), the connection is
+//!   re-dialed — immediately after a stream failure, with exponential
+//!   backoff (timer wheel, no sleeping thread) after failed dials — and
+//!   the receive-side reassembly buffer dies with the connection so a torn
+//!   frame can never desynchronize the next one;
 //! * **reconnect storms** — while a destination is unreachable, outbound
 //!   frames are *dropped*, not queued: retransmission is the protocol's
 //!   job (its timers already assume fair-lossy loss), the transport's job
 //!   is merely to stay fair — keep retrying so a frame sent infinitely
 //!   often eventually gets through.
 //!
-//! Nothing here is aware of the protocol running above; the runtime works
-//! for any [`Actor`] whose wire type is [`Bytes`] — in practice
-//! [`crate::frame::FramedActor`] wrapping anything codec-capable.
+//! [`LinkPolicy`] adds an optional per-pair outbound delay (held on the
+//! poller's timer wheel), so experiments can reproduce the simulator's
+//! 2–5 ms link on real sockets.  Nothing here is aware of the protocol
+//! running above; the runtime works for any [`Actor`] whose wire type is
+//! [`Bytes`] — in practice [`crate::frame::FramedActor`] wrapping anything
+//! codec-capable.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,10 +68,43 @@ use abcast_types::{ProcessId, ProcessSet, SimDuration, SimTime};
 use crate::actor::{Actor, ActorContext, TimerId};
 use crate::frame::{wire_chunks, FrameReassembler, FrameStreamError, DEFAULT_MAX_FRAME_LEN};
 use crate::metrics::{NetworkMetrics, TcpMetrics};
+use crate::poll::{connect_nonblocking, take_connect_error, Epoll, Events, Interest, PollEvent, TimerWheel, WakeFd};
 
 /// First bytes of every connection: proves the dialer speaks this protocol
 /// and names the process the following stream of frames is *from*.
 const HANDSHAKE_MAGIC: u32 = 0xABCA_57C9;
+
+/// Length of the connection handshake (`magic ‖ sender id`, both LE u32).
+const HANDSHAKE_LEN: usize = 8;
+
+/// Artificial outbound link behaviour for one ordered process pair,
+/// applied by the poller's timer wheel before a frame reaches its write
+/// queue.
+///
+/// The default policy is a direct link (no added delay).  A delayed policy
+/// holds each frame for a uniformly random duration from the configured
+/// range, reproducing the simulator's `LinkConfig` delay band on real
+/// sockets — which is what lets experiment E15 re-create the E12
+/// latency-bound pipeline curve over TCP.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkPolicy {
+    /// Added outbound delay: every frame waits `delay.0 ..= delay.1`
+    /// (uniform) on the poller's timer wheel before entering the write
+    /// queue.  `None` sends immediately.
+    pub delay: Option<(Duration, Duration)>,
+}
+
+impl LinkPolicy {
+    /// A direct link: frames go straight to the write queue.
+    pub fn direct() -> LinkPolicy {
+        LinkPolicy { delay: None }
+    }
+
+    /// A delayed link: every frame is held a uniform `min..=max` first.
+    pub fn delayed(min: Duration, max: Duration) -> LinkPolicy {
+        LinkPolicy { delay: Some((min, max.max(min))) }
+    }
+}
 
 /// Configuration of the socket transport.
 #[derive(Clone, Debug)]
@@ -71,6 +121,13 @@ pub struct TcpConfig {
     pub nodelay: bool,
     /// Seed for the per-process randomness handed to actors.
     pub seed: u64,
+    /// Per-connection write-queue bound in stream bytes: a frame that
+    /// would overflow it is a counted fair-lossy drop (backpressure
+    /// without blocking the worker).
+    pub write_queue_limit: usize,
+    /// Initial link policy applied to every ordered pair (individual
+    /// pairs can be overridden live via [`TcpRuntime::set_link_policy`]).
+    pub link: LinkPolicy,
 }
 
 impl Default for TcpConfig {
@@ -81,6 +138,8 @@ impl Default for TcpConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             nodelay: true,
             seed: 0xABCA57,
+            write_queue_limit: 4 * 1024 * 1024,
+            link: LinkPolicy { delay: None },
         }
     }
 }
@@ -89,6 +148,12 @@ impl TcpConfig {
     /// Returns this configuration with another seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns this configuration with a link policy for every pair.
+    pub fn with_link(mut self, link: LinkPolicy) -> Self {
+        self.link = link;
         self
     }
 }
@@ -155,7 +220,11 @@ impl PeerConn {
 }
 
 /// Shared registry of live streams, so the harness can sever connections
-/// (fault injection) and shutdown can unblock reader threads.
+/// (fault injection) from outside the poller thread.
+///
+/// Severing shuts the socket down (`shutdown(Both)` on a `try_clone`d
+/// handle); the poller then observes the readiness event — a 0-byte read
+/// or a write error — and runs its normal teardown + reconnect path.
 #[derive(Clone, Default)]
 struct ConnRegistry {
     inner: Arc<Mutex<Vec<ConnEntry>>>,
@@ -170,9 +239,9 @@ struct ConnEntry {
 }
 
 impl ConnRegistry {
-    /// The registry entries, recovering from lock poisoning: a connection
-    /// thread that panicked while holding the lock must not cascade the
-    /// panic into every other thread — the entries (plain fds) stay valid.
+    /// The registry entries, recovering from lock poisoning: a thread that
+    /// panicked while holding the lock must not cascade the panic into
+    /// every other thread — the entries (plain fds) stay valid.
     fn entries(&self) -> MutexGuard<'_, Vec<ConnEntry>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -224,8 +293,8 @@ impl ConnRegistry {
     }
 }
 
-/// Removes a registry entry when dropped, so a reader thread deregisters
-/// its connection on every exit path — including an unwind.
+/// Removes a registry entry when dropped, so every inbound-connection exit
+/// path deregisters its stream.
 struct RegistrationGuard {
     registry: ConnRegistry,
     id: u64,
@@ -234,6 +303,64 @@ struct RegistrationGuard {
 impl Drop for RegistrationGuard {
     fn drop(&mut self) {
         self.registry.deregister(self.id);
+    }
+}
+
+/// Worker-side progress signal: a monotone epoch bumped whenever any
+/// worker processes an input or fires a timer, with a condvar for waiters.
+///
+/// This is what replaced the transport's sleep-polling: callers that need
+/// "re-check after something happened" ([`TcpRuntime::wait_for`], the
+/// socket harness's `run_until_delivered`) snapshot the epoch, check their
+/// predicate, and park on [`Activity::wait_past`] instead of sleeping a
+/// fixed interval.  Pure inspections do not bump the epoch, so a waiter's
+/// own probes never wake it.
+#[derive(Clone, Default)]
+pub struct Activity {
+    inner: Arc<ActivityInner>,
+}
+
+#[derive(Default)]
+struct ActivityInner {
+    epoch: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Activity {
+    /// The current epoch; pair with [`Activity::wait_past`].
+    pub fn epoch(&self) -> u64 {
+        *self.inner.epoch.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one unit of progress and wakes every waiter.
+    fn bump(&self) {
+        let mut epoch = self.inner.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        *epoch = epoch.wrapping_add(1);
+        self.inner.changed.notify_all();
+    }
+
+    /// Parks until the epoch moves past `seen` or `timeout` elapses.
+    /// Returns `true` when progress happened.
+    ///
+    /// Snapshot the epoch *before* evaluating the predicate: progress
+    /// between the check and the park then returns immediately instead of
+    /// being lost.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut epoch = self.inner.epoch.lock().unwrap_or_else(PoisonError::into_inner);
+        while *epoch == seen {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = self
+                .inner
+                .changed
+                .wait_timeout(epoch, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            epoch = guard;
+        }
+        true
     }
 }
 
@@ -256,31 +383,84 @@ enum Input<A: Actor> {
     Shutdown,
 }
 
+/// Commands from worker threads (and the harness) into the poller.
+enum PollCmd {
+    /// Queue `frame` on the `src → dst` connection (or drop it fair-lossy
+    /// if the link is down / backpressured / delayed into a dead link).
+    Frame {
+        src: ProcessId,
+        dst: ProcessId,
+        frame: Bytes,
+    },
+    /// Replace the link policy of the ordered pair `src → dst`.
+    SetLink {
+        src: ProcessId,
+        dst: ProcessId,
+        policy: LinkPolicy,
+    },
+    /// Tear everything down and exit the poller thread.
+    Shutdown,
+}
+
+/// `eventfd` wakeup with a pending flag so back-to-back notifications cost
+/// one syscall, not one per frame.
+struct PollWaker {
+    fd: WakeFd,
+    armed: AtomicBool,
+}
+
+impl PollWaker {
+    fn new() -> io::Result<PollWaker> {
+        Ok(PollWaker { fd: WakeFd::new()?, armed: AtomicBool::new(false) })
+    }
+
+    /// Wakes the poller unless a wake is already in flight.
+    fn notify(&self) {
+        if !self.armed.swap(true, Ordering::AcqRel) {
+            self.fd.wake();
+        }
+    }
+
+    /// Poller side: re-arm *before* draining the command queue, so a
+    /// command enqueued concurrently either lands in this drain or issues
+    /// a fresh wake.
+    fn drained(&self) {
+        self.armed.store(false, Ordering::Release);
+        self.fd.drain();
+    }
+
+    fn raw_fd(&self) -> i32 {
+        self.fd.raw_fd()
+    }
+}
+
 /// A live deployment of `n` processes over loopback/real TCP, each running
-/// one byte-framed [`Actor`] on its own thread.
+/// one byte-framed [`Actor`] on its own thread, with all socket I/O on a
+/// single poller thread.
 ///
 /// Mirrors [`crate::runtime::ThreadRuntime`]'s operator controls (crash,
 /// recover, inspect, client requests) and adds connection-level fault
-/// injection ([`TcpRuntime::sever_link`], [`TcpRuntime::sever_process`]).
+/// injection ([`TcpRuntime::sever_link`], [`TcpRuntime::sever_process`])
+/// and per-pair link shaping ([`TcpRuntime::set_link_policy`]).
 pub struct TcpRuntime<A: Actor<Msg = Bytes>> {
     inputs: Vec<Sender<Input<A>>>,
     worker_handles: Vec<JoinHandle<()>>,
-    accept_handles: Vec<JoinHandle<()>>,
-    sender_handles: Vec<JoinHandle<()>>,
-    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    poller_handle: Option<JoinHandle<()>>,
+    poll_tx: Sender<PollCmd>,
+    waker: Arc<PollWaker>,
+    activity: Activity,
     processes: ProcessSet,
     storage: StorageRegistry,
     metrics: NetworkMetrics,
     tcp_metrics: TcpMetrics,
     addrs: Vec<SocketAddr>,
     registry: ConnRegistry,
-    shutdown: Arc<AtomicBool>,
 }
 
 impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
-    /// Binds `n` loopback listeners, connects every ordered process pair,
-    /// and starts `n` worker threads, building each actor with `factory`
-    /// and its stable storage from `storage`.
+    /// Binds `n` loopback listeners, hands them (plus every outbound dial)
+    /// to the poller thread, and starts `n` worker threads, building each
+    /// actor with `factory` and its stable storage from `storage`.
     ///
     /// The factory is invoked again on every recovery, with the same
     /// process identity and the same storage handle.
@@ -299,8 +479,7 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         let metrics = NetworkMetrics::new();
         let tcp_metrics = TcpMetrics::new();
         let registry = ConnRegistry::default();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let activity = Activity::default();
 
         // Bind every listener before anything dials, so first connection
         // attempts on loopback succeed and no startup frames are lost.
@@ -308,65 +487,32 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         let mut addrs = Vec::with_capacity(n);
         for _ in 0..n {
             let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            listener.set_nonblocking(true)?;
             addrs.push(listener.local_addr()?);
             listeners.push(listener);
         }
 
         let channels: Vec<Channel<A>> = (0..n).map(|_| unbounded()).collect();
         let inputs: Vec<Sender<Input<A>>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let (poll_tx, poll_rx) = unbounded::<PollCmd>();
+        let waker = Arc::new(PollWaker::new()?);
 
-        // Accept loops: one per process, spawning a reader per connection.
-        let mut accept_handles = Vec::with_capacity(n);
-        for (index, listener) in listeners.into_iter().enumerate() {
-            let me = ProcessId::new(index as u32);
-            let acceptor = Acceptor {
-                me,
-                listener,
-                input: inputs[index].clone(),
-                config: config.clone(),
-                tcp_metrics: tcp_metrics.clone(),
-                registry: registry.clone(),
-                shutdown: shutdown.clone(),
-                reader_handles: reader_handles.clone(),
-            };
-            accept_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("abcast-tcp-accept-{me}"))
-                    .spawn(move || acceptor.run())?,
-            );
-        }
-
-        // Outbound connection actors: one per ordered pair (me -> peer).
-        let mut sender_handles = Vec::new();
-        let mut outbound: Vec<Vec<Option<Sender<Bytes>>>> = Vec::with_capacity(n);
-        for src in 0..n {
-            let me = ProcessId::new(src as u32);
-            let mut row: Vec<Option<Sender<Bytes>>> = Vec::with_capacity(n);
-            for (dst, addr) in addrs.iter().enumerate() {
-                if dst == src {
-                    row.push(None);
-                    continue;
-                }
-                let (tx, rx) = unbounded::<Bytes>();
-                row.push(Some(tx));
-                let conn = OutboundConn {
-                    me,
-                    peer: ProcessId::new(dst as u32),
-                    addr: *addr,
-                    rx,
-                    config: config.clone(),
-                    tcp_metrics: tcp_metrics.clone(),
-                    registry: registry.clone(),
-                    shutdown: shutdown.clone(),
-                };
-                sender_handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("abcast-tcp-send-{me}-to-p{dst}"))
-                        .spawn(move || conn.run())?,
-                );
-            }
-            outbound.push(row);
-        }
+        // The poller: every socket of the deployment on one thread.
+        let poller = PollerThread::new(
+            listeners,
+            addrs.clone(),
+            inputs.clone(),
+            poll_rx,
+            waker.clone(),
+            config.clone(),
+            tcp_metrics.clone(),
+            registry.clone(),
+        )?;
+        let poller_handle = Some(
+            std::thread::Builder::new()
+                .name("abcast-tcp-poll".to_string())
+                .spawn(move || poller.run())?,
+        );
 
         // Worker threads: the event loops actually running the actors.
         let mut worker_handles = Vec::with_capacity(n);
@@ -382,12 +528,14 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
                 me,
                 processes: processes.clone(),
                 storage: my_storage,
-                outbound: outbound[index].clone(),
+                poll_tx: poll_tx.clone(),
+                waker: waker.clone(),
                 loopback: inputs[index].clone(),
                 receiver,
                 factory: factory.clone(),
                 metrics: metrics.clone(),
                 tcp_metrics: tcp_metrics.clone(),
+                activity: activity.clone(),
                 rng: StdRng::seed_from_u64(config.seed ^ (index as u64).wrapping_mul(0x9E37)),
                 epoch: Instant::now(),
             };
@@ -401,16 +549,16 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         Ok(TcpRuntime {
             inputs,
             worker_handles,
-            accept_handles,
-            sender_handles,
-            reader_handles,
+            poller_handle,
+            poll_tx,
+            waker,
+            activity,
             processes,
             storage,
             metrics,
             tcp_metrics,
             addrs,
             registry,
-            shutdown,
         })
     }
 
@@ -434,6 +582,12 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
     /// torn frames).
     pub fn tcp_metrics(&self) -> &TcpMetrics {
         &self.tcp_metrics
+    }
+
+    /// The worker progress signal: lets harnesses wait for "something
+    /// happened" instead of sleep-polling their predicates.
+    pub fn activity(&self) -> &Activity {
+        &self.activity
     }
 
     /// The loopback address process `p` listens on.
@@ -466,8 +620,9 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
     }
 
     /// Hard-kills every live connection between `a` and `b`, in both
-    /// directions.  Both ends observe a reset; the dialers reconnect with
-    /// backoff.  Returns how many streams were severed.
+    /// directions.  Both ends observe a reset; the poller reconnects —
+    /// with backoff once dials start failing.  Returns how many streams
+    /// were severed.
     pub fn sever_link(&self, a: ProcessId, b: ProcessId) -> usize {
         self.registry.sever(a, b)
     }
@@ -476,6 +631,24 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
     /// network cable" fault).  Returns how many streams were severed.
     pub fn sever_process(&self, p: ProcessId) -> usize {
         self.registry.sever_all_of(p)
+    }
+
+    /// Replaces the link policy of the ordered pair `from → to` (applied
+    /// by the poller from the next frame on).
+    pub fn set_link_policy(&self, from: ProcessId, to: ProcessId, policy: LinkPolicy) {
+        let _ = self.poll_tx.send(PollCmd::SetLink { src: from, dst: to, policy });
+        self.waker.notify();
+    }
+
+    /// Replaces the link policy of every ordered pair.
+    pub fn set_link_policy_all(&self, policy: LinkPolicy) {
+        for from in self.processes.clone().iter() {
+            for to in self.processes.clone().iter() {
+                if from != to {
+                    self.set_link_policy(from, to, policy);
+                }
+            }
+        }
     }
 
     /// Runs `f` against the live actor of process `p` and returns its
@@ -514,8 +687,10 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         rx.recv_timeout(Duration::from_secs(5)).ok()
     }
 
-    /// Polls `f` on process `p` until it returns `Some`, or until `timeout`
-    /// elapses.
+    /// Re-evaluates `f` on process `p` until it returns `Some`, or until
+    /// `timeout` elapses.  Parks on the [`Activity`] signal between
+    /// evaluations (no sleep-polling): a new probe runs only after some
+    /// worker made progress.
     pub fn wait_for<R, F>(&self, p: ProcessId, timeout: Duration, f: F) -> Option<R>
     where
         R: Send + 'static,
@@ -524,365 +699,862 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         let f = Arc::new(f);
         let deadline = Instant::now() + timeout;
         loop {
+            let seen = self.activity.epoch();
             let probe = f.clone();
             if let Some(Some(result)) = self.inspect(p, move |a| probe(a)) {
                 return Some(result);
             }
-            if Instant::now() >= deadline {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
                 return None;
             }
-            std::thread::sleep(Duration::from_millis(2));
+            // The 50 ms cap is a liveness backstop, not a poll interval:
+            // normally the epoch bump wakes the wait immediately.
+            self.activity.wait_past(seen, left.min(Duration::from_millis(50)));
         }
     }
 
-    /// Shuts every process down, tears down every connection and joins all
-    /// transport threads.
+    /// Shuts every process down, tears down every connection and joins the
+    /// worker and poller threads.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // Workers first: they may still be draining protocol traffic, and
+        // every frame they transmit needs the poller alive to either send
+        // it or account for it.  Only once every worker has exited is the
+        // poller told to stop (so its command channel outlives all
+        // senders that are not this handle).
         for sender in &self.inputs {
             let _ = sender.send(Input::Shutdown);
         }
-        // Workers exit first: dropping their outbound senders lets the
-        // connection actors observe disconnection and exit too.
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
-        // Unblock readers (and half-dead senders) hard.
+        let _ = self.poll_tx.send(PollCmd::Shutdown);
+        self.waker.notify();
+        if let Some(handle) = self.poller_handle.take() {
+            let _ = handle.join();
+        }
+        // Safety net: any stream a failed poller left behind.
         self.registry.sever_everything();
-        for handle in self.sender_handles.drain(..) {
-            let _ = handle.join();
-        }
-        for handle in self.accept_handles.drain(..) {
-            let _ = handle.join();
-        }
-        let readers: Vec<JoinHandle<()>> = std::mem::take(
-            &mut *self
-                .reader_handles
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner),
-        );
-        for handle in readers {
-            let _ = handle.join();
-        }
     }
 }
 
 // ---------------------------------------------------------------------------
-// Outbound connection actor
+// The poller thread: every socket of the deployment on one event loop
 // ---------------------------------------------------------------------------
 
-struct OutboundConn {
-    me: ProcessId,
-    peer: ProcessId,
-    addr: SocketAddr,
-    rx: Receiver<Bytes>,
-    config: TcpConfig,
-    tcp_metrics: TcpMetrics,
-    registry: ConnRegistry,
-    shutdown: Arc<AtomicBool>,
+/// Where a registered token points.
+#[derive(Clone, Copy, Debug)]
+enum TokenKind {
+    /// The worker-side wakeup fd.
+    Waker,
+    /// Listener of process `index`.
+    Listener(usize),
+    /// Outbound connection of pair `index` (`src * n + dst`).
+    Outbound(usize),
+    /// Inbound connection keyed by its own token.
+    Inbound,
 }
 
-impl OutboundConn {
-    /// Dial–stream–redial loop.  While disconnected, outbound frames are
-    /// dropped (fair-lossy loss) and dialing backs off exponentially; while
-    /// connected, frames are written as vectored prefix+body chunks.
-    fn run(self) {
-        let mut backoff = self.config.reconnect_initial;
-        loop {
-            // --- dial phase -------------------------------------------------
-            let mut stream = loop {
-                if self.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                match self.dial() {
-                    Ok(stream) => break stream,
-                    Err(_) => {
-                        self.tcp_metrics.record_reconnect_attempt();
-                        // Sleep out the backoff; frames arriving meanwhile
-                        // have no connection to ride and are lost, exactly
-                        // like the fair-lossy link losing them.
-                        let until = Instant::now() + backoff;
-                        loop {
-                            let left = until.saturating_duration_since(Instant::now());
-                            if left.is_zero() {
-                                break;
-                            }
-                            match self.rx.recv_timeout(left) {
-                                Ok(_frame) => self.tcp_metrics.record_frame_dropped(),
-                                Err(RecvTimeoutError::Timeout) => break,
-                                Err(RecvTimeoutError::Disconnected) => return,
-                            }
-                        }
-                        backoff = (backoff * 2).min(self.config.reconnect_max);
-                    }
-                }
-            };
-            self.tcp_metrics.record_connection_established();
-            backoff = self.config.reconnect_initial;
-            let registered = match stream.try_clone() {
-                Ok(clone) => Some(self.registry.register(self.me, self.peer, clone)),
-                Err(_) => None,
-            };
+/// Pending bytes of one outbound connection, written with vectored writes
+/// and advanced across partial writes without flattening chunks.
+///
+/// Entry accounting rides alongside: each queued frame (and the
+/// handshake, which is not a frame) knows its stream length, so completed
+/// frames are counted as sent exactly when their last byte leaves and
+/// queued frames are counted as fair-lossy drops when the connection dies
+/// under them.
+#[derive(Default)]
+struct WriteQueue {
+    chunks: VecDeque<Bytes>,
+    /// `(stream bytes, counts as frame)` per queued entry, front first.
+    entries: VecDeque<(usize, bool)>,
+    /// Bytes of the front entry already written to the socket.
+    front_written: usize,
+    queued_bytes: usize,
+}
 
-            // --- stream phase -----------------------------------------------
-            loop {
-                match self.rx.recv() {
-                    Ok(frame) => {
-                        let chunks = wire_chunks(&frame);
-                        let stream_bytes: usize = chunks.iter().map(Bytes::len).sum();
-                        match write_all_vectored(&mut stream, &chunks) {
-                            Ok(()) => self.tcp_metrics.record_frame_sent(stream_bytes),
-                            Err(_) => {
-                                // The frame tore mid-write (or the reset beat
-                                // it entirely): one fair-lossy loss, then
-                                // reconnect.
-                                self.tcp_metrics.record_frame_dropped();
-                                break;
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        // Worker gone: deployment is shutting down.
-                        if let Some(id) = registered {
-                            self.registry.deregister(id);
-                        }
-                        return;
-                    }
-                }
-            }
-            if let Some(id) = registered {
-                self.registry.deregister(id);
-            }
-            let _ = stream.shutdown(Shutdown::Both);
+/// Most chunks handed to one vectored write; bounds stack/alloc cost per
+/// syscall, the loop continues with the rest.
+const MAX_WRITE_VECTORS: usize = 64;
+
+impl WriteQueue {
+    fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Frames still (fully or partially) queued — the fair-lossy loss if
+    /// the connection dies now.
+    fn pending_frames(&self) -> usize {
+        self.entries.iter().filter(|(_, is_frame)| *is_frame).count()
+    }
+
+    /// Queues one non-frame preamble (the handshake).
+    fn push_preamble(&mut self, bytes: Bytes) {
+        self.queued_bytes += bytes.len();
+        self.entries.push_back((bytes.len(), false));
+        self.chunks.push_back(bytes);
+    }
+
+    /// Queues one frame as its wire chunks (prefix + zero-copy body).
+    fn push_frame(&mut self, frame: &Bytes) {
+        let chunks = wire_chunks(frame);
+        let total: usize = chunks.iter().map(Bytes::len).sum();
+        self.queued_bytes += total;
+        self.entries.push_back((total, true));
+        for chunk in chunks {
+            self.chunks.push_back(chunk);
         }
     }
 
-    fn dial(&self) -> io::Result<TcpStream> {
-        let stream = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250))?;
-        stream.set_nodelay(self.config.nodelay)?;
-        let mut handshake = [0u8; 8];
-        handshake[..4].copy_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
-        handshake[4..].copy_from_slice(&self.me.as_u32().to_le_bytes());
-        (&stream).write_all(&handshake)?;
-        Ok(stream)
-    }
-}
-
-/// Writes every chunk to `stream` using vectored writes, advancing across
-/// partial writes without flattening the chunks into one buffer.
-fn write_all_vectored(stream: &mut TcpStream, chunks: &[Bytes]) -> io::Result<()> {
-    let mut chunk_idx = 0;
-    let mut offset = 0;
-    while chunk_idx < chunks.len() {
-        if chunks[chunk_idx].len() == offset {
-            chunk_idx += 1;
-            offset = 0;
-            continue;
-        }
-        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(chunks.len() - chunk_idx);
-        slices.push(IoSlice::new(&chunks[chunk_idx][offset..]));
-        for chunk in &chunks[chunk_idx + 1..] {
+    /// Performs one vectored write, advancing the queue.  Returns the
+    /// stream lengths of *frames* fully written by this step; callers map
+    /// `WouldBlock` to "subscribe writable" and other errors to teardown.
+    fn write_step(&mut self, stream: &mut TcpStream) -> io::Result<Vec<usize>> {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(self.chunks.len().min(MAX_WRITE_VECTORS));
+        for chunk in self.chunks.iter().take(MAX_WRITE_VECTORS) {
             slices.push(IoSlice::new(chunk));
         }
         let mut written = match stream.write_vectored(&slices) {
             Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "stream closed")),
             Ok(n) => n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         };
-        while written > 0 && chunk_idx < chunks.len() {
-            let remaining = chunks[chunk_idx].len() - offset;
+        self.queued_bytes -= written;
+
+        // Advance the chunk queue.
+        let mut chunk_bytes = written;
+        while chunk_bytes > 0 {
+            let Some(front) = self.chunks.front_mut() else { break };
+            if chunk_bytes >= front.len() {
+                chunk_bytes -= front.len();
+                self.chunks.pop_front();
+            } else {
+                front.advance(chunk_bytes);
+                chunk_bytes = 0;
+            }
+        }
+
+        // Advance the entry accounting, collecting completed frames.
+        let mut completed = Vec::new();
+        while written > 0 {
+            let Some(&(len, is_frame)) = self.entries.front() else { break };
+            let remaining = len - self.front_written;
             if written >= remaining {
                 written -= remaining;
-                chunk_idx += 1;
-                offset = 0;
+                self.front_written = 0;
+                self.entries.pop_front();
+                if is_frame {
+                    completed.push(len);
+                }
             } else {
-                offset += written;
+                self.front_written += written;
                 written = 0;
             }
         }
+        Ok(completed)
     }
-    Ok(())
 }
 
-// ---------------------------------------------------------------------------
-// Accept loop and per-connection readers
-// ---------------------------------------------------------------------------
+/// Outbound connection state of one ordered pair.
+enum OutConn {
+    /// No socket; a redial timer is (or is about to be) armed.
+    Idle,
+    /// Nonblocking dial in flight; writability reports the outcome.
+    /// Frames sent meanwhile buffer in `pending` (bounded by the write
+    /// queue limit) and flush behind the handshake once the dial lands —
+    /// a dial in flight is not a down link, so nothing is dropped yet;
+    /// if the dial fails, the buffered frames become counted drops.
+    Connecting {
+        stream: TcpStream,
+        token: u64,
+        pending: Vec<Bytes>,
+        pending_bytes: usize,
+    },
+    /// Handshake queued/written; frames stream through the write queue.
+    Streaming {
+        stream: TcpStream,
+        token: u64,
+        queue: WriteQueue,
+        reg: Option<u64>,
+        /// Whether the current epoll registration includes writability.
+        wants_write: bool,
+    },
+}
 
-struct Acceptor<A: Actor<Msg = Bytes>> {
+struct PairState {
+    src: ProcessId,
+    dst: ProcessId,
+    addr: SocketAddr,
+    backoff: Duration,
+    policy: LinkPolicy,
+    conn: OutConn,
+}
+
+/// Transport-side timers on the poller's wheel.
+enum TransportTimer {
+    /// Re-attempt the dial of pair `index` (reconnect backoff).
+    Redial(usize),
+    /// A link-delayed frame reaches the head of pair `index`'s link.
+    DelayedFrame { pair: usize, frame: Bytes },
+}
+
+/// How an inbound connection ended.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum InboundClose {
+    /// EOF / reset / worker gone: torn partials are counted.
+    Dead,
+    /// Stream corruption (oversized prefix): counted as a stream error
+    /// already, not as a torn frame on top.
+    Corrupted,
+}
+
+/// Handshake-then-stream state of one inbound connection.
+enum InState {
+    Handshake { buf: [u8; HANDSHAKE_LEN], got: usize },
+    Streaming(PeerConn),
+}
+
+struct InboundConn {
+    /// The accepting process (frames go to its worker).
     me: ProcessId,
-    listener: TcpListener,
-    input: Sender<Input<A>>,
+    stream: TcpStream,
+    state: InState,
+    /// Fault-injection registration; dropping deregisters.
+    reg: Option<RegistrationGuard>,
+}
+
+struct PollerThread<A: Actor<Msg = Bytes>> {
+    epoll: Epoll,
+    waker: Arc<PollWaker>,
+    commands: Receiver<PollCmd>,
+    inputs: Vec<Sender<Input<A>>>,
     config: TcpConfig,
     tcp_metrics: TcpMetrics,
     registry: ConnRegistry,
-    shutdown: Arc<AtomicBool>,
-    reader_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    listeners: Vec<TcpListener>,
+    tokens: BTreeMap<u64, TokenKind>,
+    next_token: u64,
+    pairs: Vec<PairState>,
+    inbound: BTreeMap<u64, InboundConn>,
+    timers: TimerWheel<TransportTimer>,
+    rng: StdRng,
+    read_buf: Vec<u8>,
+    n: usize,
+    stop: bool,
 }
 
-impl<A: Actor<Msg = Bytes>> Acceptor<A> {
-    fn run(self) {
-        // Non-blocking accept polling, so shutdown can join this thread.
-        if self.listener.set_nonblocking(true).is_err() {
+impl<A: Actor<Msg = Bytes>> PollerThread<A> {
+    #[allow(clippy::too_many_arguments)] // lint: internal constructor wiring the runtime's shared handles through; called exactly once
+    fn new(
+        listeners: Vec<TcpListener>,
+        addrs: Vec<SocketAddr>,
+        inputs: Vec<Sender<Input<A>>>,
+        commands: Receiver<PollCmd>,
+        waker: Arc<PollWaker>,
+        config: TcpConfig,
+        tcp_metrics: TcpMetrics,
+        registry: ConnRegistry,
+    ) -> io::Result<Self> {
+        let n = listeners.len();
+        let mut pairs = Vec::with_capacity(n * n);
+        for src in 0..n {
+            for (dst, addr) in addrs.iter().enumerate() {
+                pairs.push(PairState {
+                    src: ProcessId::new(src as u32),
+                    dst: ProcessId::new(dst as u32),
+                    addr: *addr,
+                    backoff: config.reconnect_initial,
+                    policy: config.link,
+                    conn: OutConn::Idle,
+                });
+            }
+        }
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x9027_11E5_77EE_1007);
+        Ok(PollerThread {
+            epoll: Epoll::new()?,
+            waker,
+            commands,
+            inputs,
+            config,
+            tcp_metrics,
+            registry,
+            listeners,
+            tokens: BTreeMap::new(),
+            next_token: 0,
+            pairs,
+            inbound: BTreeMap::new(),
+            timers: TimerWheel::new(),
+            rng,
+            read_buf: vec![0u8; 64 * 1024],
+            n,
+            stop: false,
+        })
+    }
+
+    fn alloc_token(&mut self, kind: TokenKind) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.tokens.insert(token, kind);
+        token
+    }
+
+    fn pair_index(&self, src: ProcessId, dst: ProcessId) -> usize {
+        src.index() * self.n + dst.index()
+    }
+
+    /// The event loop.  One blocking point (`Epoll::wait`); everything
+    /// else is nonblocking dispatch.
+    fn run(mut self) {
+        // Register the wakeup fd and every listener, then start dialing.
+        let waker_token = self.alloc_token(TokenKind::Waker);
+        if self.epoll.register(self.waker.raw_fd(), waker_token, Interest::READ).is_err() {
             return;
         }
-        loop {
-            if self.shutdown.load(Ordering::SeqCst) {
+        for index in 0..self.n {
+            let token = self.alloc_token(TokenKind::Listener(index));
+            let fd = self.listeners[index].as_raw_fd();
+            if self.epoll.register(fd, token, Interest::READ).is_err() {
                 return;
             }
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if stream.set_nonblocking(false).is_err() {
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(self.config.nodelay);
-                    let reader = ConnReader {
-                        me: self.me,
-                        stream,
-                        input: self.input.clone(),
-                        tcp_metrics: self.tcp_metrics.clone(),
-                        registry: self.registry.clone(),
-                        max_frame_len: self.config.max_frame_len,
-                    };
-                    let metrics = self.tcp_metrics.clone();
-                    if let Ok(handle) = std::thread::Builder::new()
-                        .name(format!("abcast-tcp-read-{}", self.me))
-                        .spawn(move || {
-                            // A panicking reader must not die silently: its
-                            // connection state already unwound (the
-                            // RegistrationGuard deregistered the stream),
-                            // so account the in-flight frame as torn
-                            // fair-lossy loss and make the panic countable.
-                            if catch_unwind(AssertUnwindSafe(|| reader.run())).is_err() {
-                                metrics.record_torn_frame();
-                                metrics.record_reader_panic();
-                            }
-                        })
-                    {
-                        let mut handles = self
-                            .reader_handles
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner);
-                        // Reconnect churn accepts a connection per redial;
-                        // drop handles of readers that already exited so
-                        // the list stays bounded by *live* connections.
-                        handles.retain(|h| !h.is_finished());
-                        handles.push(handle);
+        }
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if src != dst {
+                    let pair = src * self.n + dst;
+                    self.start_dial(pair);
+                }
+            }
+        }
+
+        let mut events = Events::with_capacity(256);
+        let mut batch: Vec<PollEvent> = Vec::with_capacity(256);
+        loop {
+            self.drain_commands();
+            if self.stop {
+                break;
+            }
+            let now = Instant::now();
+            while let Some(timer) = self.timers.pop_due(now) {
+                self.fire_timer(timer);
+            }
+            if self.stop {
+                break;
+            }
+            let timeout = self.timers.timeout_until_next(Instant::now());
+            if self.epoll.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            batch.clear();
+            batch.extend(events.iter());
+            for event in &batch {
+                let event = *event;
+                match self.tokens.get(&event.token).copied() {
+                    Some(TokenKind::Waker) => self.waker.drained(),
+                    Some(TokenKind::Listener(index)) => self.accept_ready(index),
+                    Some(TokenKind::Outbound(pair)) => self.outbound_ready(pair, event),
+                    Some(TokenKind::Inbound) => self.inbound_ready(event.token),
+                    // Tokens retired earlier in this same batch.
+                    None => {}
+                }
+            }
+        }
+        self.teardown_everything();
+    }
+
+    // --- commands and timers ------------------------------------------------
+
+    fn drain_commands(&mut self) {
+        self.waker.drained();
+        loop {
+            let cmd = match self.commands.try_recv() {
+                Ok(cmd) => cmd,
+                Err(crossbeam_channel::TryRecvError::Empty) => break,
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    // Every sender (runtime handle + workers) is gone: the
+                    // deployment was dropped without an explicit shutdown.
+                    self.stop = true;
+                    break;
+                }
+            };
+            match cmd {
+                PollCmd::Frame { src, dst, frame } => {
+                    let pair = self.pair_index(src, dst);
+                    match self.pairs[pair].policy.delay {
+                        Some((min, max)) => {
+                            let span = max.saturating_sub(min).as_micros() as u64;
+                            let extra = if span == 0 { 0 } else { self.rng.gen_range(0..=span) };
+                            let at = Instant::now() + min + Duration::from_micros(extra);
+                            self.timers.insert(at, TransportTimer::DelayedFrame { pair, frame });
+                        }
+                        None => self.enqueue_frame(pair, frame),
                     }
                 }
-                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
+                PollCmd::SetLink { src, dst, policy } => {
+                    let pair = self.pair_index(src, dst);
+                    self.pairs[pair].policy = policy;
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                PollCmd::Shutdown => self.stop = true,
             }
         }
     }
-}
 
-struct ConnReader<A: Actor<Msg = Bytes>> {
-    me: ProcessId,
-    stream: TcpStream,
-    input: Sender<Input<A>>,
-    tcp_metrics: TcpMetrics,
-    registry: ConnRegistry,
-    max_frame_len: usize,
-}
+    fn fire_timer(&mut self, timer: TransportTimer) {
+        match timer {
+            TransportTimer::Redial(pair) => {
+                if matches!(self.pairs[pair].conn, OutConn::Idle) {
+                    self.start_dial(pair);
+                }
+            }
+            TransportTimer::DelayedFrame { pair, frame } => self.enqueue_frame(pair, frame),
+        }
+    }
 
-impl<A: Actor<Msg = Bytes>> ConnReader<A> {
-    fn run(mut self) {
-        // Handshake: magic + the dialer's process id.
-        let mut handshake = [0u8; 8];
-        if self.stream.read_exact(&mut handshake).is_err() {
+    /// Queues `frame` on a live connection (or buffers it behind a dial in
+    /// flight), or records the fair-lossy drop (link down, or write-queue
+    /// backpressure).
+    fn enqueue_frame(&mut self, pair: usize, frame: Bytes) {
+        let limit = self.config.write_queue_limit;
+        match &mut self.pairs[pair].conn {
+            OutConn::Streaming { queue, .. } => {
+                if queue.queued_bytes() + frame.len() + crate::frame::WIRE_PREFIX_LEN > limit {
+                    // Backpressure: the receiver is not draining; dropping
+                    // here is the same fair-lossy loss as a dead link.
+                    self.tcp_metrics.record_frame_dropped();
+                } else {
+                    queue.push_frame(&frame);
+                    self.flush_outbound(pair);
+                }
+            }
+            OutConn::Connecting { pending, pending_bytes, .. } => {
+                // A dial in flight is not a down link: hold the frame and
+                // flush it behind the handshake once the connect lands
+                // (under the same backpressure bound).
+                if *pending_bytes + frame.len() + crate::frame::WIRE_PREFIX_LEN > limit {
+                    self.tcp_metrics.record_frame_dropped();
+                } else {
+                    *pending_bytes += frame.len() + crate::frame::WIRE_PREFIX_LEN;
+                    pending.push(frame);
+                }
+            }
+            OutConn::Idle => {
+                self.tcp_metrics.record_frame_dropped();
+            }
+        }
+    }
+
+    // --- outbound connections ----------------------------------------------
+
+    fn start_dial(&mut self, pair: usize) {
+        if self.stop {
             return;
         }
-        let mut magic_bytes = [0u8; 4];
-        magic_bytes.copy_from_slice(&handshake[..4]);
-        if u32::from_le_bytes(magic_bytes) != HANDSHAKE_MAGIC {
-            let _ = self.stream.shutdown(Shutdown::Both);
+        let addr = self.pairs[pair].addr;
+        match connect_nonblocking(&addr) {
+            Ok(stream) => {
+                let token = self.alloc_token(TokenKind::Outbound(pair));
+                if self.epoll.register(stream.as_raw_fd(), token, Interest::WRITE).is_err() {
+                    self.tokens.remove(&token);
+                    self.dial_failed(pair);
+                    return;
+                }
+                self.pairs[pair].conn = OutConn::Connecting {
+                    stream,
+                    token,
+                    pending: Vec::new(),
+                    pending_bytes: 0,
+                };
+            }
+            Err(_) => self.dial_failed(pair),
+        }
+    }
+
+    /// Books one failed dial: counts the reconnect attempt and arms the
+    /// redial timer with exponential backoff (no sleeping thread — frames
+    /// sent meanwhile hit [`OutConn::Idle`] and drop fair-lossy).
+    fn dial_failed(&mut self, pair: usize) {
+        self.tcp_metrics.record_reconnect_attempt();
+        let state = &mut self.pairs[pair];
+        state.conn = OutConn::Idle;
+        let delay = state.backoff;
+        state.backoff = (state.backoff * 2).min(self.config.reconnect_max);
+        self.timers.insert(Instant::now() + delay, TransportTimer::Redial(pair));
+    }
+
+    fn outbound_ready(&mut self, pair: usize, event: PollEvent) {
+        if matches!(self.pairs[pair].conn, OutConn::Connecting { .. }) {
+            self.connect_finished(pair);
             return;
         }
-        let mut peer_bytes = [0u8; 4];
-        peer_bytes.copy_from_slice(&handshake[4..]);
-        let peer = ProcessId::new(u32::from_le_bytes(peer_bytes));
-        self.tcp_metrics.record_connection_accepted();
-        // RAII so the registry entry disappears even if this reader unwinds
-        // mid-stream; the stream's own Drop closes the fd in that case.
-        let _registered = match self.stream.try_clone() {
-            Ok(clone) => Some(RegistrationGuard {
-                registry: self.registry.clone(),
-                id: self.registry.register(peer, self.me, clone),
-            }),
-            Err(_) => None,
+        if event.failed {
+            self.teardown_outbound(pair, true);
+            return;
+        }
+        if event.readable && !self.probe_outbound_alive(pair) {
+            self.teardown_outbound(pair, true);
+            return;
+        }
+        if event.writable {
+            self.flush_outbound(pair);
+        }
+    }
+
+    /// Resolves an in-flight dial once the socket reports writability.
+    fn connect_finished(&mut self, pair: usize) {
+        let fd = {
+            let OutConn::Connecting { stream, .. } = &self.pairs[pair].conn else { return };
+            stream.as_raw_fd()
         };
+        let established = matches!(take_connect_error(fd), Ok(None));
+        if !established {
+            let OutConn::Connecting { stream, token, pending, .. } = std::mem::replace(
+                &mut self.pairs[pair].conn,
+                OutConn::Idle,
+            ) else {
+                return;
+            };
+            let _ = self.epoll.deregister(stream.as_raw_fd());
+            self.tokens.remove(&token);
+            drop(stream);
+            // The frames buffered behind the failed dial are the loss.
+            for _ in &pending {
+                self.tcp_metrics.record_frame_dropped();
+            }
+            self.dial_failed(pair);
+            return;
+        }
 
-        let mut conn = PeerConn::new(peer, self.max_frame_len);
-        let mut buf = vec![0u8; 64 * 1024];
-        let mut corrupted = false;
-        'stream: loop {
-            match self.stream.read(&mut buf) {
-                Ok(0) | Err(_) => break,
+        let OutConn::Connecting { stream, token, pending, .. } =
+            std::mem::replace(&mut self.pairs[pair].conn, OutConn::Idle)
+        else {
+            return;
+        };
+        let _ = stream.set_nodelay(self.config.nodelay);
+        self.tcp_metrics.record_connection_established();
+        let (src, dst) = (self.pairs[pair].src, self.pairs[pair].dst);
+        let reg = stream
+            .try_clone()
+            .ok()
+            .map(|clone| self.registry.register(src, dst, clone));
+        let mut queue = WriteQueue::default();
+        queue.push_preamble(handshake_bytes(src));
+        for frame in &pending {
+            queue.push_frame(frame);
+        }
+        self.pairs[pair].backoff = self.config.reconnect_initial;
+        self.pairs[pair].conn = OutConn::Streaming {
+            stream,
+            token,
+            queue,
+            reg,
+            // Registered WRITE during the dial; the first flush below
+            // re-registers according to what is left in the queue.
+            wants_write: true,
+        };
+        self.flush_outbound(pair);
+    }
+
+    /// Drains the write queue until empty or `WouldBlock`, keeping the
+    /// epoll writable subscription in sync with queue occupancy.
+    fn flush_outbound(&mut self, pair: usize) {
+        loop {
+            let completed = {
+                let OutConn::Streaming { stream, queue, .. } = &mut self.pairs[pair].conn else {
+                    return;
+                };
+                if queue.is_empty() {
+                    self.set_outbound_write_interest(pair, false);
+                    return;
+                }
+                match queue.write_step(stream) {
+                    Ok(completed) => completed,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.set_outbound_write_interest(pair, true);
+                        return;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.teardown_outbound(pair, true);
+                        return;
+                    }
+                }
+            };
+            for stream_bytes in completed {
+                self.tcp_metrics.record_frame_sent(stream_bytes);
+            }
+        }
+    }
+
+    fn set_outbound_write_interest(&mut self, pair: usize, want: bool) {
+        let OutConn::Streaming { stream, token, wants_write, .. } = &mut self.pairs[pair].conn
+        else {
+            return;
+        };
+        if *wants_write == want {
+            return;
+        }
+        let interest = if want { Interest::BOTH } else { Interest::READ };
+        if self.epoll.reregister(stream.as_raw_fd(), *token, interest).is_ok() {
+            *wants_write = want;
+        }
+    }
+
+    /// Reads the (simplex) outbound socket: any data is discarded, and EOF
+    /// or an error means the peer tore the connection down.  Returns
+    /// `false` when the connection is dead.
+    fn probe_outbound_alive(&mut self, pair: usize) -> bool {
+        let OutConn::Streaming { stream, .. } = &mut self.pairs[pair].conn else {
+            return true;
+        };
+        loop {
+            match stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    return false;
+                }
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Tears one outbound connection down.  Every queued frame is a
+    /// counted fair-lossy drop; with `redial` the pair re-dials
+    /// immediately (stream failures reset backoff — only failed *dials*
+    /// escalate it).
+    fn teardown_outbound(&mut self, pair: usize, redial: bool) {
+        let conn = std::mem::replace(&mut self.pairs[pair].conn, OutConn::Idle);
+        match conn {
+            OutConn::Idle => {}
+            OutConn::Connecting { stream, token, pending, .. } => {
+                if !self.stop {
+                    for _ in &pending {
+                        self.tcp_metrics.record_frame_dropped();
+                    }
+                }
+                let _ = self.epoll.deregister(stream.as_raw_fd());
+                self.tokens.remove(&token);
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            OutConn::Streaming { stream, token, queue, reg, .. } => {
+                // Frames still queued are fair-lossy losses — except at
+                // final shutdown, where the whole deployment (and every
+                // receiver) is going away with them: nothing is "lost"
+                // relative to a run that has ended.
+                if !self.stop {
+                    for _ in 0..queue.pending_frames() {
+                        self.tcp_metrics.record_frame_dropped();
+                    }
+                }
+                if let Some(id) = reg {
+                    self.registry.deregister(id);
+                }
+                let _ = self.epoll.deregister(stream.as_raw_fd());
+                self.tokens.remove(&token);
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        if redial && !self.stop {
+            self.start_dial(pair);
+        }
+    }
+
+    // --- inbound connections -----------------------------------------------
+
+    fn accept_ready(&mut self, index: usize) {
+        loop {
+            match self.listeners[index].accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(self.config.nodelay);
+                    let token = self.alloc_token(TokenKind::Inbound);
+                    if self.epoll.register(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                        self.tokens.remove(&token);
+                        continue;
+                    }
+                    self.inbound.insert(
+                        token,
+                        InboundConn {
+                            me: ProcessId::new(index as u32),
+                            stream,
+                            state: InState::Handshake { buf: [0u8; HANDSHAKE_LEN], got: 0 },
+                            reg: None,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn inbound_ready(&mut self, token: u64) {
+        let Some(mut conn) = self.inbound.remove(&token) else { return };
+        match self.drive_inbound(&mut conn) {
+            None => {
+                self.inbound.insert(token, conn);
+            }
+            Some(close) => self.finish_inbound(token, conn, close),
+        }
+    }
+
+    /// Reads the connection until `WouldBlock`.  Returns `Some(close)`
+    /// when the connection is finished, `None` while it stays live.
+    fn drive_inbound(&mut self, conn: &mut InboundConn) -> Option<InboundClose> {
+        loop {
+            match conn.stream.read(&mut self.read_buf) {
+                Ok(0) => {
+                    return Some(InboundClose::Dead);
+                }
                 Ok(n) => {
                     self.tcp_metrics.record_bytes_received(n);
                     // One copy out of the read buffer into a refcounted
                     // chunk; every frame completed inside this chunk is a
                     // zero-copy view of it from here on.
-                    conn.push(Bytes::copy_from_slice(&buf[..n]));
-                    // Drain frame by frame, so frames completed before a
-                    // corrupt prefix in the same chunk are still delivered
-                    // (and counted) rather than vanishing with the error.
-                    loop {
-                        match conn.next_frame() {
-                            Ok(Some(frame)) => {
-                                self.tcp_metrics.record_frame_received();
-                                if self
-                                    .input
-                                    .send(Input::Message { from: peer, msg: frame })
-                                    .is_err()
-                                {
-                                    break 'stream;
-                                }
-                            }
-                            Ok(None) => break,
-                            Err(FrameStreamError::Oversized { .. }) => {
-                                // Stream corruption: this connection cannot
-                                // be trusted byte-wise anymore.  Kill it;
-                                // the dialer will reconnect with a fresh
-                                // stream and a fresh reassembly buffer.
-                                self.tcp_metrics.record_stream_error();
-                                corrupted = true;
-                                break 'stream;
-                            }
-                        }
+                    let chunk = Bytes::copy_from_slice(&self.read_buf[..n]);
+                    if let Some(close) = self.ingest_inbound(conn, chunk) {
+                        return Some(close);
                     }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return None,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    return Some(InboundClose::Dead);
                 }
             }
         }
-        if !corrupted && conn.has_partial() {
-            // The connection died mid-frame; the torn bytes die with its
-            // buffer (fair-lossy loss of that one frame).  A corrupted
-            // stream is counted as a stream error instead, not as a torn
-            // frame on top.
-            self.tcp_metrics.record_torn_frame();
-            conn.reset();
+    }
+
+    /// Feeds one read chunk through the handshake/stream state machine.
+    fn ingest_inbound(&mut self, conn: &mut InboundConn, chunk: Bytes) -> Option<InboundClose> {
+        let mut chunk = chunk;
+        if let InState::Handshake { buf, got } = &mut conn.state {
+            let need = HANDSHAKE_LEN - *got;
+            let take = need.min(chunk.len());
+            buf[*got..*got + take].copy_from_slice(&chunk[..take]);
+            *got += take;
+            if *got < HANDSHAKE_LEN {
+                return None;
+            }
+            let mut magic = [0u8; 4];
+            magic.copy_from_slice(&buf[..4]);
+            if u32::from_le_bytes(magic) != HANDSHAKE_MAGIC {
+                // Not our protocol: close quietly (the stream never
+                // carried a frame, so nothing is torn).
+                return Some(InboundClose::Corrupted);
+            }
+            let mut peer = [0u8; 4];
+            peer.copy_from_slice(&buf[4..]);
+            let peer = ProcessId::new(u32::from_le_bytes(peer));
+            self.tcp_metrics.record_connection_accepted();
+            conn.reg = conn.stream.try_clone().ok().map(|clone| RegistrationGuard {
+                registry: self.registry.clone(),
+                id: self.registry.register(peer, conn.me, clone),
+            });
+            conn.state = InState::Streaming(PeerConn::new(peer, self.config.max_frame_len));
+            chunk = chunk.slice(take..);
+            if chunk.is_empty() {
+                return None;
+            }
         }
-        let _ = self.stream.shutdown(Shutdown::Both);
+
+        let InState::Streaming(peer_conn) = &mut conn.state else { return None };
+        peer_conn.push(chunk);
+        // Drain frame by frame, so frames completed before a corrupt
+        // prefix in the same chunk are still delivered (and counted)
+        // rather than vanishing with the error.
+        loop {
+            match peer_conn.next_frame() {
+                Ok(Some(frame)) => {
+                    self.tcp_metrics.record_frame_received();
+                    let input = Input::Message { from: peer_conn.peer(), msg: frame };
+                    if self.inputs[conn.me.index()].send(input).is_err() {
+                        // Worker gone: deployment is shutting down.
+                        return Some(InboundClose::Dead);
+                    }
+                }
+                Ok(None) => return None,
+                Err(FrameStreamError::Oversized { .. }) => {
+                    // Stream corruption: this connection cannot be trusted
+                    // byte-wise anymore.  Kill it; the dialer reconnects
+                    // with a fresh stream and a fresh reassembly buffer.
+                    self.tcp_metrics.record_stream_error();
+                    return Some(InboundClose::Corrupted);
+                }
+            }
+        }
+    }
+
+    fn finish_inbound(&mut self, token: u64, mut conn: InboundConn, close: InboundClose) {
+        self.tokens.remove(&token);
+        let _ = self.epoll.deregister(conn.stream.as_raw_fd());
+        if close == InboundClose::Dead {
+            if let InState::Streaming(peer_conn) = &mut conn.state {
+                if peer_conn.has_partial() {
+                    // The connection died mid-frame; the torn bytes die
+                    // with its buffer (fair-lossy loss of that one frame).
+                    // A corrupted stream is counted as a stream error
+                    // instead, not as a torn frame on top.
+                    self.tcp_metrics.record_torn_frame();
+                    peer_conn.reset();
+                }
+            }
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        // `conn.reg` drops here and deregisters the stream.
+    }
+
+    // --- shutdown -----------------------------------------------------------
+
+    fn teardown_everything(&mut self) {
+        self.stop = true;
+        for pair in 0..self.pairs.len() {
+            self.teardown_outbound(pair, false);
+        }
+        let tokens: Vec<u64> = self.inbound.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.inbound.remove(&token) {
+                self.tokens.remove(&token);
+                let _ = self.epoll.deregister(conn.stream.as_raw_fd());
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
     }
 }
 
+/// The 8-byte connection preamble: magic plus the dialer's process id.
+fn handshake_bytes(me: ProcessId) -> Bytes {
+    let mut buf = [0u8; HANDSHAKE_LEN];
+    buf[..4].copy_from_slice(&HANDSHAKE_MAGIC.to_le_bytes());
+    buf[4..].copy_from_slice(&me.as_u32().to_le_bytes());
+    Bytes::copy_from_slice(&buf)
+}
+
 // ---------------------------------------------------------------------------
-// Worker event loop (mirrors ThreadRuntime's, with sockets as the wire)
+// Worker event loop (mirrors ThreadRuntime's, with the poller as the wire)
 // ---------------------------------------------------------------------------
 
 struct Worker<A: Actor<Msg = Bytes>> {
     me: ProcessId,
     processes: ProcessSet,
     storage: SharedStorage,
-    outbound: Vec<Option<Sender<Bytes>>>,
+    poll_tx: Sender<PollCmd>,
+    waker: Arc<PollWaker>,
     loopback: Sender<Input<A>>,
     receiver: Receiver<Input<A>>,
     factory: Arc<dyn Fn(ProcessId, SharedStorage) -> A + Send + Sync>,
     metrics: NetworkMetrics,
     tcp_metrics: TcpMetrics,
+    activity: Activity,
     rng: StdRng,
     epoch: Instant,
 }
@@ -906,8 +1578,10 @@ impl<A: Actor<Msg = Bytes>> Worker<A> {
                 _ => Duration::from_millis(50),
             };
 
+            let mut progressed = false;
             match self.receiver.recv_timeout(wait) {
                 Ok(Input::Message { from, msg }) => {
+                    progressed = true;
                     if let Some(a) = actor.as_mut() {
                         self.metrics.record_delivered();
                         let mut ctx = self.context(&mut timers);
@@ -917,16 +1591,19 @@ impl<A: Actor<Msg = Bytes>> Worker<A> {
                     }
                 }
                 Ok(Input::ClientRequest(payload)) => {
+                    progressed = true;
                     if let Some(a) = actor.as_mut() {
                         let mut ctx = self.context(&mut timers);
                         a.on_client_request(payload, &mut ctx);
                     }
                 }
                 Ok(Input::Crash) => {
+                    progressed = true;
                     actor = None;
                     timers.clear();
                 }
                 Ok(Input::Recover) => {
+                    progressed = true;
                     if actor.is_none() {
                         let mut fresh = (self.factory)(self.me, self.storage.clone());
                         let mut ctx = self.context(&mut timers);
@@ -935,11 +1612,14 @@ impl<A: Actor<Msg = Bytes>> Worker<A> {
                     }
                 }
                 Ok(Input::Inspect(probe)) => {
+                    // Pure read: no epoch bump, so Activity waiters are
+                    // never woken by their own probes.
                     if let Some(a) = actor.as_ref() {
                         probe(a);
                     }
                 }
                 Ok(Input::Invoke(call)) => {
+                    progressed = true;
                     if let Some(a) = actor.as_mut() {
                         let mut ctx = self.context(&mut timers);
                         call(a, &mut ctx);
@@ -962,12 +1642,17 @@ impl<A: Actor<Msg = Bytes>> Worker<A> {
                     if due.is_empty() {
                         break;
                     }
+                    progressed = true;
                     for id in due {
                         timers.remove(&id);
                         let mut ctx = self.context(&mut timers);
                         a.on_timer(id, &mut ctx);
                     }
                 }
+            }
+
+            if progressed {
+                self.activity.bump();
             }
         }
     }
@@ -1007,19 +1692,17 @@ impl<'a, A: Actor<Msg = Bytes>> TcpWorkerContext<'a, A> {
             });
             return;
         }
-        match &self.worker.outbound[to.index()] {
-            // The frame is a refcounted view: handing it to the connection
-            // actor is pointer-sized, not a copy.
-            Some(tx) => {
-                let _ = tx.send(frame);
-            }
-            None => {
-                // The outbound row covers every non-self destination by
-                // construction; if that invariant ever breaks, map the send
-                // to a counted fair-lossy drop instead of killing the worker.
-                self.worker.tcp_metrics.record_frame_dropped();
-            }
+        // The frame is a refcounted view: handing it to the poller is
+        // pointer-sized, not a copy.  The poller decides between queueing
+        // on the live connection and a counted fair-lossy drop.
+        let cmd = PollCmd::Frame { src: self.worker.me, dst: to, frame };
+        if self.worker.poll_tx.send(cmd).is_err() {
+            // Poller gone (shutdown teardown): the frame is a counted
+            // fair-lossy drop, never a worker crash.
+            self.worker.tcp_metrics.record_frame_dropped();
+            return;
         }
+        self.worker.waker.notify();
     }
 }
 
@@ -1175,7 +1858,7 @@ mod tests {
         let severed = runtime.sever_process(p1);
         assert!(severed > 0, "there were live connections to sever");
 
-        // Traffic must resume: the dialers reconnect with backoff.
+        // Traffic must resume: the poller reconnects off its timer wheel.
         let before = runtime.inspect(p0, |a| a.received).unwrap();
         let resumed = runtime.wait_for(p0, Duration::from_secs(10), move |a| {
             (a.received >= before + 5).then_some(())
@@ -1264,5 +1947,165 @@ mod tests {
             "recovered counter {sent_after} must not regress below {sent_before}"
         );
         runtime.shutdown();
+    }
+
+    /// A silent actor: no timers, no background traffic — the only frames
+    /// on the wire are the ones a test injects, so latency can be timed.
+    #[derive(Default)]
+    struct Quiet {
+        received: u64,
+    }
+
+    impl Actor for Quiet {
+        type Msg = Bytes;
+
+        fn on_start(&mut self, _ctx: &mut dyn ActorContext<Bytes>) {}
+
+        fn on_message(&mut self, _from: ProcessId, _frame: Bytes, _ctx: &mut dyn ActorContext<Bytes>) {
+            self.received += 1;
+        }
+
+        fn on_timer(&mut self, _timer: TimerId, _ctx: &mut dyn ActorContext<Bytes>) {}
+    }
+
+    #[test]
+    fn a_delayed_link_policy_stretches_delivery_latency() {
+        let storage = StorageRegistry::in_memory(2);
+        let config = TcpConfig::default().with_link(LinkPolicy::delayed(
+            Duration::from_millis(20),
+            Duration::from_millis(25),
+        ));
+        let runtime: TcpRuntime<Quiet> =
+            TcpRuntime::start(2, storage, config, |_, _| Quiet::default()).unwrap();
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        // Let the connections establish first, so dial/backoff time does
+        // not mask (or inflate) the link delay being measured.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while runtime.tcp_metrics().snapshot().connections_established < 2 {
+            assert!(Instant::now() < deadline, "connections must establish");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let started = Instant::now();
+        runtime.invoke(p0, move |_a, ctx| {
+            ctx.send(p1, encode_frame(&99u64));
+        });
+        runtime
+            .wait_for(p1, Duration::from_secs(10), |a| (a.received >= 1).then_some(()))
+            .expect("the delayed frame must still arrive");
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(18),
+            "a 20-25 ms link must not deliver in {elapsed:?}"
+        );
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn write_queue_backpressure_drops_are_counted_not_blocking() {
+        let storage = StorageRegistry::in_memory(2);
+        // A queue bound below one frame's wire size: every send overflows.
+        let config = TcpConfig {
+            write_queue_limit: 4,
+            ..TcpConfig::default()
+        };
+        let runtime: TcpRuntime<Counting> =
+            TcpRuntime::start(2, storage, config, |_, _| Counting {
+                sent: 0,
+                received: 0,
+                decode_failures: 0,
+                last_payload: None,
+            })
+            .unwrap();
+        let p0 = ProcessId::new(0);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let tcp = runtime.tcp_metrics().snapshot();
+            if tcp.frames_dropped > 0 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "overflowing frames must surface as counted drops: {tcp:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // The workers kept running (sends never blocked on the full queue).
+        assert!(runtime.inspect(p0, |a| a.sent).unwrap() > 0);
+        runtime.shutdown();
+    }
+
+    proptest::proptest! {
+        /// Satellite: one poller tick hands arbitrarily interleaved partial
+        /// reads from many connections into per-connection reassembly; every
+        /// stream's frames must come out intact, in order, with no
+        /// cross-connection bleed.
+        #[test]
+        fn prop_interleaved_partial_reads_stay_per_connection(
+            per_conn_lens in proptest::collection::vec(
+                proptest::collection::vec(0usize..96, 1..5),
+                2..5,
+            ),
+            schedule in proptest::collection::vec((0usize..8, 1usize..48), 1..256),
+        ) {
+            // Per connection: the expected frames and the full wire stream.
+            let mut expected: Vec<Vec<Bytes>> = Vec::new();
+            let mut streams: Vec<Vec<u8>> = Vec::new();
+            for (c, lens) in per_conn_lens.iter().enumerate() {
+                let frames: Vec<Bytes> = lens
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &len)| Bytes::from(vec![(c * 31 + i) as u8; len]))
+                    .collect();
+                let mut wire = Vec::new();
+                for frame in &frames {
+                    for chunk in wire_chunks(frame) {
+                        wire.extend_from_slice(&chunk);
+                    }
+                }
+                expected.push(frames);
+                streams.push(wire);
+            }
+
+            let conns_count = expected.len();
+            let mut conns: Vec<PeerConn> = (0..conns_count)
+                .map(|c| PeerConn::new(ProcessId::new(c as u32), DEFAULT_MAX_FRAME_LEN))
+                .collect();
+            let mut cursors = vec![0usize; conns_count];
+            let mut out: Vec<Vec<Bytes>> = vec![Vec::new(); conns_count];
+
+            // The tick: readiness events arrive in arbitrary connection
+            // order with arbitrary read sizes; each read is pushed and
+            // drained before the next connection's, like the poller does.
+            let mut feed = |c: usize, take: usize,
+                            conns: &mut Vec<PeerConn>,
+                            cursors: &mut Vec<usize>,
+                            out: &mut Vec<Vec<Bytes>>| {
+                let stream = &streams[c];
+                let take = take.min(stream.len() - cursors[c]);
+                if take == 0 {
+                    return;
+                }
+                let chunk = Bytes::copy_from_slice(&stream[cursors[c]..cursors[c] + take]);
+                cursors[c] += take;
+                conns[c].push(chunk);
+                while let Ok(Some(frame)) = conns[c].next_frame() {
+                    out[c].push(frame);
+                }
+            };
+            for &(pick, size) in &schedule {
+                feed(pick % conns_count, size, &mut conns, &mut cursors, &mut out);
+            }
+            // Whatever the schedule left unread arrives in one final read.
+            for c in 0..conns_count {
+                let left = streams[c].len() - cursors[c];
+                feed(c, left, &mut conns, &mut cursors, &mut out);
+            }
+
+            for c in 0..conns_count {
+                proptest::prop_assert_eq!(&out[c], &expected[c]);
+                proptest::prop_assert!(!conns[c].has_partial());
+            }
+        }
     }
 }

@@ -254,7 +254,7 @@ fn statement_end(tokens: &[Token], from: usize, close: usize) -> usize {
 
 /// Direct calls that park the thread on a device or peer.  Transitive
 /// blocking through helpers is propagated over the call graph.
-const BLOCKING_CALLS: [&str; 16] = [
+const BLOCKING_CALLS: [&str; 17] = [
     "sync_data",
     "sync_all",
     "fsync",
@@ -271,6 +271,7 @@ const BLOCKING_CALLS: [&str; 16] = [
     "join",
     "wait",
     "park",
+    "epoll_wait",
 ];
 
 /// Guard adapters that keep the acquisition expression going

@@ -45,8 +45,8 @@ pub const RULES: [(&str, &str); 7] = [
     ),
     (
         "P1",
-        "no unwrap/expect/panic!/unreachable!/todo! in net::tcp connection handling — a \
-         torn peer must map to counted fair-lossy loss, never a crash",
+        "no unwrap/expect/panic!/unreachable!/todo! in net::tcp / net::poll connection \
+         handling — a torn peer must map to counted fair-lossy loss, never a crash",
     ),
     (
         "S1",
@@ -176,7 +176,7 @@ fn rule_applies(rule: &str, scope: &FileScope, rel_path: &str) -> bool {
         "B1" => !matches!(krate, "storage" | "bench"),
         "B2" => PROTOCOL_CRATES.contains(&krate),
         "Z1" => ZERO_COPY_CRATES.contains(&krate),
-        "P1" => krate == "net" && rel_path.ends_with("/tcp.rs"),
+        "P1" => krate == "net" && (rel_path.ends_with("/tcp.rs") || rel_path.ends_with("/poll.rs")),
         "S1" => true,
         _ => false,
     }

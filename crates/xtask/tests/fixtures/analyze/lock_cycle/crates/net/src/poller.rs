@@ -1,0 +1,29 @@
+//! Known-bad L1 fixture for the event-loop transport: the poller parks in
+//! `epoll_wait` while still holding the write-queue mutex, so every
+//! sender blocks until the next readiness event.
+
+use std::sync::Mutex;
+
+pub struct Poller {
+    epoll: Epoll,
+    write_queue: Mutex<Vec<u8>>,
+}
+
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    pub fn epoll_wait(&self, timeout_ms: i32) -> usize {
+        let _ = (self.fd, timeout_ms);
+        0
+    }
+}
+
+impl Poller {
+    pub fn turn(&self) -> usize {
+        let queue = self.write_queue.lock().unwrap();
+        let ready = self.epoll.epoll_wait(queue.len() as i32);
+        ready
+    }
+}

@@ -1,0 +1,29 @@
+//! Known-good twin of the poller fixture: the write-queue guard is
+//! dropped before the poller parks in `epoll_wait`.
+
+use std::sync::Mutex;
+
+pub struct Poller {
+    epoll: Epoll,
+    write_queue: Mutex<Vec<u8>>,
+}
+
+pub struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    pub fn epoll_wait(&self, timeout_ms: i32) -> usize {
+        let _ = (self.fd, timeout_ms);
+        0
+    }
+}
+
+impl Poller {
+    pub fn turn(&self) -> usize {
+        let guard = self.write_queue.lock().unwrap();
+        let pending = guard.len() as i32;
+        drop(guard);
+        self.epoll.epoll_wait(pending)
+    }
+}

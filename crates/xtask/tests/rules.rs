@@ -159,6 +159,15 @@ fn p1_accepts_counted_fault_mapping_and_is_file_scoped() {
     assert_clean("crates/net/src/frame.rs", include_str!("fixtures/p1_bad.rs"));
 }
 
+#[test]
+fn p1_also_covers_the_poll_module() {
+    // The readiness layer under the transport is connection handling too:
+    // a bad fd or a failed syscall must surface as io::Error, not a panic.
+    let outcome = lint_source("crates/net/src/poll.rs", include_str!("fixtures/p1_bad.rs"));
+    let p1 = outcome.violations.iter().filter(|v| v.rule == "P1").count();
+    assert_eq!(p1, 4, "got {:#?}", outcome.violations);
+}
+
 // --- S1 -------------------------------------------------------------------
 
 #[test]
@@ -291,6 +300,14 @@ fn l1_fires_on_lock_order_cycles_and_blocking_io_under_a_lock() {
             .iter()
             .any(|v| v.message.contains("held across blocking `sync_data`")),
         "the barrier under the guard must be flagged: {:#?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.message.contains("held across blocking `epoll_wait`")),
+        "the write-queue mutex held across the poller's park must be flagged: {:#?}",
         report.violations
     );
 }

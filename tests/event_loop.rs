@@ -1,0 +1,113 @@
+//! Workspace integration tests for the event-loop transport's *shape*:
+//! the whole point of the readiness-based poller is that a cluster of N
+//! processes costs O(N) OS threads (N workers + 1 poller), not the O(N²)
+//! of thread-per-connection, and that reconnects come off the poller's
+//! timer wheel instead of per-pair sleeper threads.
+//!
+//! The thread counts are read from `/proc/self/status` (`Threads:`), so
+//! these tests serialize on a shared mutex — another cluster starting in
+//! parallel would shift the baseline.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crash_recovery_abcast::core::{ClusterConfig, TcpCluster};
+use crash_recovery_abcast::ProcessId;
+
+/// Serializes every test that samples the process-wide thread count.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn p(i: u32) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// Live OS-thread count of this process, from `/proc/self/status`.
+fn os_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+#[test]
+fn a_five_process_cluster_runs_on_linearly_many_threads() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let n = 5;
+    let before = os_threads();
+
+    let mut cluster =
+        TcpCluster::new(ClusterConfig::basic(n).with_seed(91)).expect("loopback cluster");
+    let id = cluster.broadcast(p(0), b"thread census".to_vec()).expect("p0 is up");
+    assert!(
+        cluster.run_until_all_delivered(Duration::from_secs(30)),
+        "message {id} must be delivered everywhere"
+    );
+
+    // Steady state with all 20 ordered pairs connected: N workers + 1
+    // poller.  Thread-per-connection needed ≥ 2·N·(N-1) + 2·N = 50 here;
+    // leave slack for short-lived runtime threads but stay far below it.
+    let during = os_threads();
+    let added = during.saturating_sub(before);
+    assert!(
+        added >= n,
+        "expected at least the {n} worker threads, saw {added} (before={before}, during={during})"
+    );
+    assert!(
+        added <= n + 3,
+        "a {n}-process cluster must run O(N) threads (N workers + 1 poller), \
+         got {added} new threads (before={before}, during={during})"
+    );
+
+    cluster.shutdown();
+    let after = os_threads();
+    assert!(
+        after <= before + 1,
+        "shutdown must join the cluster's threads (before={before}, after={after})"
+    );
+}
+
+#[test]
+fn reconnects_fire_from_the_timer_wheel_not_new_threads() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let n = 3;
+
+    let mut cluster =
+        TcpCluster::new(ClusterConfig::basic(n).with_seed(92)).expect("loopback cluster");
+    let id = cluster.broadcast(p(0), b"before the cut".to_vec()).expect("p0 is up");
+    assert!(cluster.run_until_all_delivered(Duration::from_secs(30)));
+
+    let baseline = os_threads();
+    let established_before = cluster.runtime().tcp_metrics().snapshot().connections_established;
+
+    // Kill every connection of every process, several times: the old
+    // transport parked a sleeping thread per backoff; the poller must
+    // absorb all of it on the timer wheel at a flat thread count.
+    for round in 0..3 {
+        for i in 0..n as u32 {
+            cluster.sever_process(p(i));
+        }
+        let id = cluster
+            .broadcast(p((round % n) as u32), format!("round {round}").into_bytes())
+            .expect("sender is up");
+        assert!(
+            cluster.run_until_all_delivered(Duration::from_secs(30)),
+            "message {id} must survive the reconnect storm of round {round}"
+        );
+        let now = os_threads();
+        assert!(
+            now <= baseline + 1,
+            "reconnect round {round} must not spawn threads: {baseline} -> {now}"
+        );
+    }
+
+    let tcp = cluster.runtime().tcp_metrics().snapshot();
+    assert!(
+        tcp.connections_established > established_before,
+        "the severed links must have been re-established: {tcp:?}"
+    );
+    assert_eq!(tcp.stream_errors, 0, "kills are resets, not corruption: {tcp:?}");
+    let _ = id;
+    cluster.shutdown();
+}
