@@ -1,0 +1,26 @@
+//! Experiment binary: regenerates the E16 segmented-WAL table and emits
+//! the `BENCH_wal.json` baseline.
+//!
+//! Pass `--quick` for a reduced sweep (used by CI) and `--out <path>` to
+//! choose where the JSON baseline is written (default: `BENCH_wal.json`
+//! in the current directory).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wal.json".to_string());
+
+    let rows = abcast_bench::experiments::e16_wal::run_rows(quick);
+    let table = abcast_bench::experiments::e16_wal::table_from_rows(&rows);
+    table.print();
+    println!("{}", table.to_markdown());
+
+    let json = abcast_bench::experiments::e16_wal::to_json(&rows, quick);
+    std::fs::write(&out, &json).expect("baseline JSON must be writable");
+    println!("baseline written to {out}");
+}

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E15).  See the crate documentation and
+//! The experiment suite (E1–E16).  See the crate documentation and
 //! `EXPERIMENTS.md` for the mapping from paper claims to experiments.
 
 pub mod e01_log_ops;
@@ -16,6 +16,7 @@ pub mod e12_pipeline;
 pub mod e13_codec;
 pub mod e14_socket;
 pub mod e15_cluster;
+pub mod e16_wal;
 
 use crate::report::Table;
 
@@ -41,6 +42,7 @@ pub fn run_all(quick: bool) -> Vec<Table> {
         e13_codec::run(quick),
         e14_socket::run(quick),
         e15_cluster::run(quick),
+        e16_wal::run(quick),
     ]
 }
 
@@ -52,7 +54,7 @@ mod tests {
     #[test]
     fn all_experiments_produce_tables_in_quick_mode() {
         let tables = super::run_all(true);
-        assert_eq!(tables.len(), 15);
+        assert_eq!(tables.len(), 16);
         for table in &tables {
             assert!(!table.is_empty(), "{} produced no rows", table.id);
             assert!(!table.columns.is_empty());

@@ -86,7 +86,11 @@ pub fn run_seed_detailed(seed: u64) -> FuzzRun {
         dir
     });
     let inner = match &wal_dir {
-        Some(dir) => StorageRegistry::wal_in(dir, plan.processes, 1).expect("open WAL storages"),
+        // Tiny segments + the minimum compaction threshold: protocol-sized
+        // workloads then rotate and compact constantly, so the crash/torn
+        // fault families exercise segment boundaries, not just one file.
+        Some(dir) => StorageRegistry::wal_in_segmented(dir, plan.processes, 1, 512, 4096)
+            .expect("open WAL storages"),
         None => StorageRegistry::in_memory(plan.processes),
     };
     let faulty: Vec<Arc<FaultyStorage>> = inner
@@ -209,6 +213,11 @@ pub fn run_seed_detailed(seed: u64) -> FuzzRun {
     // ------------------------------------------------------------------
     // Phase 3: whole-deployment restart; durable state must survive.
     // ------------------------------------------------------------------
+    // Storage faults were disarmed at the start of phase 2, so the
+    // injection totals are final here — read them before the restart
+    // phase tears the storages down.
+    let injected: u64 = faulty.iter().map(|f| f.injected().total()).sum();
+
     let broadcast = cluster.broadcast_ids().clone();
     let (must_after, queue_violations) = match &wal_dir {
         None => {
@@ -229,10 +238,19 @@ pub fn run_seed_detailed(seed: u64) -> FuzzRun {
             // Tear the tail of one journal: a record header promising far
             // more bytes than exist, exactly what a crash mid-append
             // leaves behind.  Replay must stop there, not invent state.
+            //
+            // A restart kills the whole deployment, background threads
+            // included — model that faithfully: the cluster, the faulty
+            // wrappers and the inner registry all hold `Arc`s to the WAL
+            // storages, and every one must go before the reopen, or a
+            // surviving instance's compactor could still be rewriting the
+            // directory the new open is replaying.
             drop(cluster);
+            drop(faulty);
+            drop(inner);
             append_torn_tail(&dir.join("p0.wal"));
-            let reopened =
-                StorageRegistry::wal_in(dir, plan.processes, 1).expect("reopen WAL storages");
+            let reopened = StorageRegistry::wal_in_segmented(dir, plan.processes, 1, 512, 4096)
+                .expect("reopen WAL storages");
             let mut cluster = Cluster::with_registry(config, reopened);
             let deadline = cluster.now() + SimDuration::from_secs(10);
             cluster
@@ -277,7 +295,6 @@ pub fn run_seed_detailed(seed: u64) -> FuzzRun {
     // deterministically except storage faults, which only count if an
     // injection point was actually reached.
     // ------------------------------------------------------------------
-    let injected: u64 = faulty.iter().map(|f| f.injected().total()).sum();
     let families: Vec<FaultFamily> = plan
         .families
         .iter()

@@ -1021,6 +1021,12 @@ impl AtomicBroadcast {
                 self.persist_unordered(ctx);
             }
         }
+        // Advisory GC hint for the storage backend: everything at or below
+        // `persisted_round` is now covered by the durable `(k, Agreed)`
+        // image, so log records from earlier rounds are dead weight.  The
+        // segmented WAL uses this to schedule background compaction; other
+        // backends ignore it.
+        ctx.storage().note_checkpoint(self.persisted_round);
     }
 
     fn discard_old_consensus_records(&mut self, ctx: &mut dyn ActorContext<AbcastMsg>) {

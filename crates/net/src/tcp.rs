@@ -128,6 +128,12 @@ pub struct TcpConfig {
     /// Initial link policy applied to every ordered pair (individual
     /// pairs can be overridden live via [`TcpRuntime::set_link_policy`]).
     pub link: LinkPolicy,
+    /// How long an outbound connection must stay up — with its handshake
+    /// fully flushed — before its death resets the reconnect backoff.  A
+    /// peer that accepts and immediately drops connections never clears
+    /// this bar, so such churn keeps escalating the backoff instead of
+    /// resetting it on every bare `connect()` success.
+    pub reconnect_reset_grace: Duration,
 }
 
 impl Default for TcpConfig {
@@ -140,6 +146,7 @@ impl Default for TcpConfig {
             seed: 0xABCA57,
             write_queue_limit: 4 * 1024 * 1024,
             link: LinkPolicy { delay: None },
+            reconnect_reset_grace: Duration::from_millis(100),
         }
     }
 }
@@ -154,6 +161,12 @@ impl TcpConfig {
     /// Returns this configuration with a link policy for every pair.
     pub fn with_link(mut self, link: LinkPolicy) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Returns this configuration with another backoff-reset grace period.
+    pub fn with_reconnect_reset_grace(mut self, grace: Duration) -> Self {
+        self.reconnect_reset_grace = grace;
         self
     }
 }
@@ -398,6 +411,10 @@ enum PollCmd {
         dst: ProcessId,
         policy: LinkPolicy,
     },
+    /// Fault injection: make process `dst`'s listener accept and
+    /// immediately drop every inbound connection (`refuse` on), or restore
+    /// normal accepts (`refuse` off).
+    RefuseInbound { dst: ProcessId, refuse: bool },
     /// Tear everything down and exit the poller thread.
     Shutdown,
 }
@@ -633,6 +650,15 @@ impl<A: Actor<Msg = Bytes>> TcpRuntime<A> {
         self.registry.sever_all_of(p)
     }
 
+    /// Fault injection: while enabled, process `p`'s listener accepts and
+    /// immediately drops every inbound connection.  Dialers observe a
+    /// successful `connect()` followed by a reset — churn that must keep
+    /// their reconnect backoff escalating, not reset it.
+    pub fn set_refuse_inbound(&self, p: ProcessId, refuse: bool) {
+        let _ = self.poll_tx.send(PollCmd::RefuseInbound { dst: p, refuse });
+        self.waker.notify();
+    }
+
     /// Replaces the link policy of the ordered pair `from → to` (applied
     /// by the poller from the next frame on).
     pub fn set_link_policy(&self, from: ProcessId, to: ProcessId, policy: LinkPolicy) {
@@ -792,6 +818,12 @@ impl WriteQueue {
         self.entries.iter().filter(|(_, is_frame)| *is_frame).count()
     }
 
+    /// Whether the handshake preamble has not fully left for the socket
+    /// yet — a connection dying in this state never proved itself.
+    fn preamble_pending(&self) -> bool {
+        self.entries.iter().any(|(_, is_frame)| !*is_frame)
+    }
+
     /// Queues one non-frame preamble (the handshake).
     fn push_preamble(&mut self, bytes: Bytes) {
         self.queued_bytes += bytes.len();
@@ -882,6 +914,10 @@ enum OutConn {
         reg: Option<u64>,
         /// Whether the current epoll registration includes writability.
         wants_write: bool,
+        /// When the dial completed; with the handshake flushed and
+        /// [`TcpConfig::reconnect_reset_grace`] of uptime behind it, the
+        /// connection counts as healthy and its death resets the backoff.
+        established: Instant,
     },
 }
 
@@ -940,6 +976,9 @@ struct PollerThread<A: Actor<Msg = Bytes>> {
     next_token: u64,
     pairs: Vec<PairState>,
     inbound: BTreeMap<u64, InboundConn>,
+    /// Per-process accept-then-drop fault switch (see
+    /// [`PollCmd::RefuseInbound`]).
+    refuse_inbound: Vec<bool>,
     timers: TimerWheel<TransportTimer>,
     rng: StdRng,
     read_buf: Vec<u8>,
@@ -987,6 +1026,7 @@ impl<A: Actor<Msg = Bytes>> PollerThread<A> {
             next_token: 0,
             pairs,
             inbound: BTreeMap::new(),
+            refuse_inbound: vec![false; n],
             timers: TimerWheel::new(),
             rng,
             read_buf: vec![0u8; 64 * 1024],
@@ -1096,6 +1136,12 @@ impl<A: Actor<Msg = Bytes>> PollerThread<A> {
                 PollCmd::SetLink { src, dst, policy } => {
                     let pair = self.pair_index(src, dst);
                     self.pairs[pair].policy = policy;
+                }
+                PollCmd::RefuseInbound { dst, refuse } => {
+                    let index = dst.index();
+                    if index < self.refuse_inbound.len() {
+                        self.refuse_inbound[index] = refuse;
+                    }
                 }
                 PollCmd::Shutdown => self.stop = true,
             }
@@ -1244,7 +1290,12 @@ impl<A: Actor<Msg = Bytes>> PollerThread<A> {
         for frame in &pending {
             queue.push_frame(frame);
         }
-        self.pairs[pair].backoff = self.config.reconnect_initial;
+        // Note: the backoff is NOT reset here.  A bare `connect()` success
+        // proves nothing — a peer can accept and immediately drop, and
+        // resetting on accept would turn that churn into a full-speed
+        // reconnect loop.  The reset happens in `teardown_outbound`, once
+        // the connection has demonstrably carried the handshake and stayed
+        // up through the grace period.
         self.pairs[pair].conn = OutConn::Streaming {
             stream,
             token,
@@ -1253,6 +1304,7 @@ impl<A: Actor<Msg = Bytes>> PollerThread<A> {
             // Registered WRITE during the dial; the first flush below
             // re-registers according to what is left in the queue.
             wants_write: true,
+            established: Instant::now(),
         };
         self.flush_outbound(pair);
     }
@@ -1325,10 +1377,20 @@ impl<A: Actor<Msg = Bytes>> PollerThread<A> {
     }
 
     /// Tears one outbound connection down.  Every queued frame is a
-    /// counted fair-lossy drop; with `redial` the pair re-dials
-    /// immediately (stream failures reset backoff — only failed *dials*
-    /// escalate it).
+    /// counted fair-lossy drop.  With `redial`, what happens next depends
+    /// on whether the connection ever proved itself: a *healthy* stream
+    /// (handshake fully flushed, up for at least the reset grace) resets
+    /// the backoff and re-dials immediately, anything else — including a
+    /// peer that accepted and promptly dropped us — escalates the backoff
+    /// like a failed dial.
     fn teardown_outbound(&mut self, pair: usize, redial: bool) {
+        let healthy = match &self.pairs[pair].conn {
+            OutConn::Streaming { queue, established, .. } => {
+                !queue.preamble_pending()
+                    && established.elapsed() >= self.config.reconnect_reset_grace
+            }
+            _ => false,
+        };
         let conn = std::mem::replace(&mut self.pairs[pair].conn, OutConn::Idle);
         match conn {
             OutConn::Idle => {}
@@ -1361,7 +1423,12 @@ impl<A: Actor<Msg = Bytes>> PollerThread<A> {
             }
         }
         if redial && !self.stop {
-            self.start_dial(pair);
+            if healthy {
+                self.pairs[pair].backoff = self.config.reconnect_initial;
+                self.start_dial(pair);
+            } else {
+                self.dial_failed(pair);
+            }
         }
     }
 
@@ -1371,6 +1438,14 @@ impl<A: Actor<Msg = Bytes>> PollerThread<A> {
         loop {
             match self.listeners[index].accept() {
                 Ok((stream, _)) => {
+                    if self.refuse_inbound[index] {
+                        // Fault injection: accept-then-drop.  The dialer
+                        // sees a successful `connect()` followed by an
+                        // immediate reset — the exact pattern that must
+                        // not reset its reconnect backoff.
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 
-use abcast_types::{AbcastError, ProcessId, Result};
+use abcast_types::{AbcastError, ProcessId, Result, Round};
 
 use crate::batch::{BatchOp, WriteBatch};
 use crate::metrics::StorageMetrics;
@@ -132,6 +132,19 @@ pub trait StableStorage: Send + Sync {
     /// Lists every key currently present (slots and logs).
     fn keys(&self) -> Result<Vec<StorageKey>>;
 
+    /// Hints that a `(k, Agreed)` checkpoint covering every round up to
+    /// `round` has been persisted (Figure 4 line *b*), and that the
+    /// records it supersedes — old consensus instances, delta logs — have
+    /// been removed.
+    ///
+    /// Purely advisory: backends that maintain physical log structure (the
+    /// segmented WAL) use it to schedule garbage reclamation at the moment
+    /// most of their sealed records become dead, everything else ignores
+    /// it.  Must never block and must not affect the logical contents.
+    fn note_checkpoint(&self, round: Round) {
+        let _ = round;
+    }
+
     /// The metrics collector of this storage.
     fn metrics(&self) -> &StorageMetrics;
 
@@ -194,6 +207,34 @@ impl StorageRegistry {
             .map(|i| {
                 crate::wal::WalStorage::open(base.join(format!("p{i}.wal")))
                     .map(|s| Arc::new(s.with_group_window(group_window)) as SharedStorage)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StorageRegistry::new(stores))
+    }
+
+    /// Builds a registry of `n` WAL-backed stores like
+    /// [`StorageRegistry::wal_in`], additionally pinning the segment
+    /// rotation size and compaction threshold — the fuzz harness uses tiny
+    /// segments so torn-tail and restart fault families land on segment
+    /// boundaries, not only inside one journal file.
+    pub fn wal_in_segmented(
+        base: impl AsRef<std::path::Path>,
+        n: usize,
+        group_window: usize,
+        segment_bytes: u64,
+        compact_threshold: u64,
+    ) -> Result<Self> {
+        let base = base.as_ref();
+        std::fs::create_dir_all(base)?;
+        let stores = (0..n)
+            .map(|i| {
+                crate::wal::WalStorage::open(base.join(format!("p{i}.wal"))).map(|s| {
+                    Arc::new(
+                        s.with_group_window(group_window)
+                            .with_segment_bytes(segment_bytes)
+                            .with_compact_threshold(compact_threshold),
+                    ) as SharedStorage
+                })
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(StorageRegistry::new(stores))

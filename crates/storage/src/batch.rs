@@ -302,6 +302,13 @@ impl StableStorage for StagedStorage {
         Ok(())
     }
 
+    fn note_checkpoint(&self, round: abcast_types::Round) {
+        // Advisory, not a staged mutation: forward straight to the backing
+        // storage.  The compaction it may schedule reads only durable
+        // files, so ordering against this step's pending batch is moot.
+        self.inner.note_checkpoint(round);
+    }
+
     fn metrics(&self) -> &StorageMetrics {
         &self.metrics
     }

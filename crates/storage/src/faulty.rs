@@ -289,6 +289,11 @@ impl StableStorage for FaultyStorage {
         self.inner.keys()
     }
 
+    fn note_checkpoint(&self, round: abcast_types::Round) {
+        // Advisory and infallible by contract: no fault point applies.
+        self.inner.note_checkpoint(round);
+    }
+
     fn metrics(&self) -> &StorageMetrics {
         self.inner.metrics()
     }

@@ -13,8 +13,10 @@
 //! * [`InMemoryStorage`] — crash-surviving in-memory backend used by the
 //!   deterministic simulator, tests and benchmarks;
 //! * [`FileStorage`] — file-backed backend used by the runnable examples;
-//! * [`WalStorage`] — group-committed, CRC-framed write-ahead log backend
-//!   with torn-tail-tolerant replay and threshold compaction;
+//! * [`WalStorage`] — group-committed, CRC-framed, *segmented* write-ahead
+//!   log backend: the active segment takes group commits and is rotated at
+//!   a size threshold, a background worker compacts sealed segments into a
+//!   base, and replay is torn-tail tolerant on the active tail only;
 //! * [`FaultyStorage`] — fault-injecting wrapper (disk-full, short-write,
 //!   fsync-failure, read errors at seeded points) for the fuzzer;
 //! * [`StorageRegistry`] — one storage per process of a deployment;
@@ -47,4 +49,4 @@ pub use incremental::{FullSetLogger, IncrementalSetLogger, SetLogger, SnapshotDe
 pub use memory::InMemoryStorage;
 pub use metrics::{StorageMetrics, StorageSnapshot};
 pub use typed::TypedStorageExt;
-pub use wal::WalStorage;
+pub use wal::{WalLayout, WalStorage};

@@ -57,7 +57,31 @@ pub struct Workspace {
 }
 
 impl Workspace {
-    pub fn build(files: Vec<FileModel>) -> Workspace {
+    pub fn build(mut files: Vec<FileModel>) -> Workspace {
+        // A directory module's submodules reach the parent's shared state
+        // through a handle (`shared.comp.lock()` from `wal/compactor.rs`,
+        // where `comp` is a field of a struct declared in `wal/mod.rs`), so
+        // a purely per-file lock vocabulary would model no holds in the
+        // submodule at all.  Extend each `mod.rs` vocabulary to its sibling
+        // files; names stay workspace-scoped strings, so this only adds
+        // holds the per-file pass would have silently dropped.
+        let mut dir_locks: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for file in &files {
+            if let Some(dir) = file.path.strip_suffix("/mod.rs") {
+                dir_locks.insert(dir.to_string(), file.locks.clone());
+            }
+        }
+        for file in &mut files {
+            if file.path.ends_with("/mod.rs") {
+                continue;
+            }
+            if let Some((dir, _)) = file.path.rsplit_once('/') {
+                if let Some(parent_locks) = dir_locks.get(dir) {
+                    file.locks.extend(parent_locks.iter().cloned());
+                }
+            }
+        }
+
         // Index production (non-test) functions by bare name.
         let mut index: BTreeMap<String, Vec<FnNode>> = BTreeMap::new();
         for (fi, file) in files.iter().enumerate() {

@@ -196,6 +196,35 @@ fn item_position(tokens: &[Token], i: usize) -> bool {
     match i.checked_sub(1).and_then(|p| tokens.get(p)) {
         None => true,
         Some(prev) => match prev.kind {
+            // A `)` can close a restricted visibility (`pub(crate)`,
+            // `pub(super)`, …): walk back over the group and require the
+            // `pub` in front of it, so `pub(crate) struct` declares items
+            // but `fn f() -> T` positions never do.
+            TokKind::Punct if prev.text == ")" => {
+                let mut depth = 0i32;
+                let mut p = i - 1;
+                loop {
+                    match tokens.get(p) {
+                        Some(t) if t.kind == TokKind::Punct && t.text == ")" => depth += 1,
+                        Some(t) if t.kind == TokKind::Punct && t.text == "(" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return p
+                                    .checked_sub(1)
+                                    .and_then(|q| tokens.get(q))
+                                    .is_some_and(|t| {
+                                        t.kind == TokKind::Ident && t.text == "pub"
+                                    });
+                            }
+                        }
+                        _ => {}
+                    }
+                    if p == 0 {
+                        return false;
+                    }
+                    p -= 1;
+                }
+            }
             TokKind::Punct => matches!(prev.text.as_str(), "}" | ";" | "]" | "{"),
             TokKind::Ident => matches!(prev.text.as_str(), "pub" | "unsafe"),
             _ => false,

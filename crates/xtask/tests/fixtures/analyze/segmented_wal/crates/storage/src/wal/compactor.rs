@@ -1,0 +1,13 @@
+//! The worker submodule: parks on the parent module's condvar while
+//! holding the parent's flags mutex.  `comp` is declared in `mod.rs`, so
+//! this hold is only visible to L1 through the shared directory-module
+//! lock vocabulary.
+
+use super::WalShared;
+
+pub(crate) fn worker_loop(shared: &WalShared) {
+    let mut flags = shared.comp.lock().unwrap();
+    while !*flags {
+        flags = shared.comp_cv.wait(flags).unwrap();
+    }
+}

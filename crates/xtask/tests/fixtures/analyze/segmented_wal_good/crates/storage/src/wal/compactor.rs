@@ -1,0 +1,12 @@
+//! The worker submodule with a justified suppression on its park: the
+//! allow must bind to the cross-file finding and be inventoried as used.
+
+use super::WalShared;
+
+pub(crate) fn worker_loop(shared: &WalShared) {
+    let mut flags = shared.comp.lock().unwrap();
+    while !*flags {
+        // xlint:allow(L1) — a condvar wait atomically releases the flags lock while parked
+        flags = shared.comp_cv.wait(flags).unwrap();
+    }
+}

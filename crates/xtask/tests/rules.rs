@@ -319,6 +319,44 @@ fn l1_accepts_consistent_order_and_drop_before_blocking() {
 }
 
 #[test]
+fn l1_sees_locks_declared_in_mod_rs_from_sibling_submodules() {
+    let report = analyze_fixture("segmented_wal");
+    assert!(report.violations.iter().all(|v| v.rule == "L1"), "{:#?}", report.violations);
+    // Fields of a `pub(crate)` struct are lock vocabulary.
+    assert!(
+        report.violations.iter().any(|v| {
+            v.path.ends_with("wal/mod.rs") && v.message.contains("sync_data")
+        }),
+        "the barrier under the pub(crate) struct's lock must be flagged: {:#?}",
+        report.violations
+    );
+    // The submodule acquires a lock declared in `mod.rs`: the hold is only
+    // modelled because the directory module shares its vocabulary.
+    assert!(
+        report.violations.iter().any(|v| {
+            v.path.ends_with("wal/compactor.rs") && v.message.contains("wait")
+        }),
+        "the condvar park under the cross-file flags lock must be flagged: {:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn a_submodule_suppression_binds_to_the_cross_file_finding() {
+    let report = analyze_fixture("segmented_wal_good");
+    assert!(report.violations.is_empty(), "{:#?}", report.violations);
+    let allow = report
+        .suppressions
+        .iter()
+        .find(|s| s.path.ends_with("wal/compactor.rs"))
+        .expect("the submodule allow must be inventoried");
+    assert!(
+        allow.used,
+        "the allow must bind to the cross-file L1 finding, not rot as stale: {allow:#?}"
+    );
+}
+
+#[test]
 fn the_forget_floor_bug_trips_both_k1_and_v1() {
     let report = analyze_fixture("key_lifecycle");
     // The PR 7 bug: recovery reads the floor, nothing persists it.

@@ -100,9 +100,49 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`].
+///
+/// Divergence from real `parking_lot`: `wait` consumes and returns the
+/// guard (`std` style) instead of taking `&mut MutexGuard`, because the
+/// shim's guard *is* `std::sync::MutexGuard` and cannot be re-acquired in
+/// place without unsafe code. Poisoning is recovered, not propagated.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Blocks until notified, releasing the lock while parked.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all parked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn mutex_guards_data() {
@@ -117,5 +157,24 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let worker = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                *pair.0.lock() = true;
+                pair.1.notify_all();
+            })
+        };
+        let (lock, cv) = (&pair.0, &pair.1);
+        let mut ready = lock.lock();
+        while !*ready {
+            ready = cv.wait(ready);
+        }
+        worker.join().unwrap();
+        assert!(*ready);
     }
 }

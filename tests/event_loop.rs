@@ -12,7 +12,8 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use crash_recovery_abcast::core::{ClusterConfig, TcpCluster};
-use crash_recovery_abcast::ProcessId;
+use crash_recovery_abcast::net::tcp::TcpConfig;
+use crash_recovery_abcast::{ProcessId, StorageRegistry};
 
 /// Serializes every test that samples the process-wide thread count.
 static SERIAL: Mutex<()> = Mutex::new(());
@@ -109,5 +110,117 @@ fn reconnects_fire_from_the_timer_wheel_not_new_threads() {
     );
     assert_eq!(tcp.stream_errors, 0, "kills are resets, not corruption: {tcp:?}");
     let _ = id;
+    cluster.shutdown();
+}
+
+/// A peer that accepts and immediately drops connections must NOT reset
+/// the dialer's reconnect backoff on every bare `connect()` success: the
+/// churn has to keep escalating like failed dials do.  Regression for the
+/// backoff reset living in `connect_finished` instead of being gated on a
+/// proven-healthy connection.
+#[test]
+fn accept_then_drop_churn_escalates_backoff_instead_of_resetting_it() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let n = 2;
+    let config = ClusterConfig::basic(n).with_seed(93);
+    let tcp_config = TcpConfig::default()
+        .with_seed(93)
+        .with_reconnect_reset_grace(Duration::from_millis(100));
+    let mut cluster = TcpCluster::with_registry_and_tcp(
+        config,
+        StorageRegistry::in_memory(n),
+        tcp_config,
+    )
+    .expect("loopback cluster");
+    let id = cluster.broadcast(p(0), b"healthy first".to_vec()).expect("p0 is up");
+    assert!(cluster.run_until_all_delivered(Duration::from_secs(30)), "warm-up {id}");
+
+    // p1's listener turns hostile: accept, then drop on the floor.
+    cluster.runtime().set_refuse_inbound(p(1), true);
+    cluster.sever_process(p(1));
+
+    let before = cluster.runtime().tcp_metrics().snapshot();
+    std::thread::sleep(Duration::from_millis(600));
+    let during = cluster.runtime().tcp_metrics().snapshot();
+
+    // Backoff schedule 5, 10, 20, 40, 80, 160, 200… ms caps the dial rate
+    // at roughly a dozen per churning pair over 600 ms.  The pre-fix
+    // behaviour — backoff reset on every `connect()` success, immediate
+    // redial on stream death — produces hundreds.
+    let established = during.connections_established - before.connections_established;
+    assert!(
+        established >= 2,
+        "the refused listener must still produce accept-then-drop churn, \
+         saw {established} connects in 600ms"
+    );
+    assert!(
+        established <= 40,
+        "accept-then-drop churn must be rate-limited by escalating backoff, \
+         saw {established} connects in 600ms"
+    );
+
+    // Restore the listener: the cluster must heal on its own.
+    cluster.runtime().set_refuse_inbound(p(1), false);
+    let id = cluster.broadcast(p(0), b"after the storm".to_vec()).expect("p0 is up");
+    assert!(
+        cluster.run_until_all_delivered(Duration::from_secs(30)),
+        "message {id} must be delivered once accepts resume"
+    );
+    cluster.shutdown();
+}
+
+/// The flip side: once a connection has proven healthy (handshake flushed,
+/// up past the grace period), its death must reset the backoff — a
+/// reconnect after long-lived streams die must not inherit the maximum
+/// backoff from an earlier dial storm.
+#[test]
+fn healthy_reconnect_does_not_inherit_storm_backoff() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let n = 2;
+    let config = ClusterConfig::basic(n).with_seed(94);
+    let tcp_config = TcpConfig::default()
+        .with_seed(94)
+        .with_reconnect_reset_grace(Duration::from_millis(50));
+    let mut cluster = TcpCluster::with_registry_and_tcp(
+        config,
+        StorageRegistry::in_memory(n),
+        tcp_config,
+    )
+    .expect("loopback cluster");
+    let id = cluster.broadcast(p(0), b"warm-up".to_vec()).expect("p0 is up");
+    assert!(cluster.run_until_all_delivered(Duration::from_secs(30)), "warm-up {id}");
+
+    // Drive the 0 → 1 backoff towards its ceiling with an accept-then-drop
+    // storm…
+    cluster.runtime().set_refuse_inbound(p(1), true);
+    cluster.sever_process(p(1));
+    std::thread::sleep(Duration::from_millis(400));
+    // …then let a healthy connection form and outlive the grace period.
+    cluster.runtime().set_refuse_inbound(p(1), false);
+    let id = cluster.broadcast(p(0), b"healed".to_vec()).expect("p0 is up");
+    assert!(
+        cluster.run_until_all_delivered(Duration::from_secs(30)),
+        "message {id} must be delivered once accepts resume"
+    );
+    std::thread::sleep(Duration::from_millis(150));
+
+    // A healthy stream dying redials immediately (no timer, no counted
+    // reconnect attempt) — the storm-era backoff must be gone.
+    let before = cluster.runtime().tcp_metrics().snapshot();
+    for i in 0..n as u32 {
+        cluster.sever_process(p(i));
+    }
+    let id = cluster.broadcast(p(0), b"after the sever".to_vec()).expect("p0 is up");
+    assert!(
+        cluster.run_until_all_delivered(Duration::from_secs(30)),
+        "message {id} must survive the healthy-sever round"
+    );
+    let after = cluster.runtime().tcp_metrics().snapshot();
+    let attempts = after.reconnect_attempts - before.reconnect_attempts;
+    assert!(
+        attempts <= 2,
+        "healthy reconnects must redial immediately, not ride the backoff \
+         timer: {attempts} counted attempts"
+    );
     cluster.shutdown();
 }

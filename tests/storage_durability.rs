@@ -168,36 +168,37 @@ fn torn_journal_tail_recovers_to_a_prefix_and_catches_up() {
 }
 
 /// Crash edge of the compaction ↔ group-commit-window interaction: a
-/// compaction triggered while the window still holds an unsynced backlog
-/// must carry that pending tail into the rewritten journal, and writes
+/// background compaction triggered while the window still holds an
+/// unsynced backlog must leave that pending tail replayable, and writes
 /// landing *after* the compaction must survive a process crash too.  The
-/// rewritten journal is made durable (tmp-file sync + directory sync)
-/// before the backlog counter is cleared, so no ordering of crash and
-/// compaction can cost committed records.
+/// compactor only rewrites sealed (immutable, fully durable) segments; the
+/// active tail is untouched, so no ordering of crash and compaction can
+/// cost committed records.
 #[test]
 fn compaction_mid_group_window_keeps_the_pending_tail() {
-    let path = std::env::temp_dir().join(format!(
-        "abcast-durability-compact-window-{}-{:?}.wal",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_file(&path);
+    let base = temp_base("compact-window");
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("journal.wal");
     let slot = StorageKey::new("slot");
     let log = StorageKey::new("log");
     {
         // Window far larger than the commit count: no per-commit fsync
-        // ever runs, the whole run rides the group-commit backlog.
+        // ever runs, the whole run rides the group-commit backlog — except
+        // for segment seals, which are their own durability barrier.
         let s = WalStorage::open(&path)
             .unwrap()
             .with_group_window(10_000)
+            .with_segment_bytes(256)
             .with_compact_threshold(512);
         s.append(&log, b"before-compaction").unwrap();
-        // Overwrite one slot until the journal is mostly garbage: the
-        // threshold compaction fires from inside `commit_barrier` while
-        // `unsynced_commits` is still non-zero.
+        // Overwrite one slot until the journal is mostly garbage: segments
+        // rotate and the threshold nudge from inside `commit_barrier`
+        // schedules background compactions while `unsynced_commits` may
+        // still be non-zero.
         for i in 0..200u32 {
             s.store(&slot, &i.to_le_bytes()).unwrap();
         }
+        s.quiesce().unwrap();
         assert!(s.compactions() > 0, "compaction must trigger mid-window");
         // More commits *after* the compaction, again left unsynced.
         s.append(&log, b"after-compaction").unwrap();
@@ -214,20 +215,19 @@ fn compaction_mid_group_window_keeps_the_pending_tail() {
         vec![b"before-compaction".to_vec(), b"after-compaction".to_vec()],
         "pending log records on both sides of the compaction survive"
     );
-    let _ = std::fs::remove_file(&path);
+    drop(s);
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 /// An *explicit* `compact()` call (not the threshold path) in the middle of
-/// an open group-commit window behaves the same: the rewritten journal is
-/// complete and the un-fsynced tail written afterwards still replays.
+/// an open group-commit window behaves the same: it seals the active
+/// segment (making the backlog durable), merges everything sealed into the
+/// base, and the un-fsynced tail written afterwards still replays.
 #[test]
 fn explicit_compact_with_unsynced_backlog_loses_nothing() {
-    let path = std::env::temp_dir().join(format!(
-        "abcast-durability-explicit-compact-{}-{:?}.wal",
-        std::process::id(),
-        std::thread::current().id()
-    ));
-    let _ = std::fs::remove_file(&path);
+    let base = temp_base("explicit-compact");
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("journal.wal");
     let log = StorageKey::new("log");
     {
         let s = WalStorage::open(&path).unwrap().with_group_window(10_000);
@@ -242,7 +242,197 @@ fn explicit_compact_with_unsynced_backlog_loses_nothing() {
     let entries = s.load_log(&log).unwrap();
     assert_eq!(entries.len(), 21);
     assert_eq!(entries[20], vec![99]);
-    let _ = std::fs::remove_file(&path);
+    drop(s);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Crash between sealing the active segment and creating its replacement:
+/// recovery must treat the missing active file as an empty tail and serve
+/// the full sealed history, then accept new writes.
+#[test]
+fn crash_between_seal_and_new_active_creation_recovers() {
+    let base = temp_base("seal-crash");
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("journal.wal");
+    let log = StorageKey::new("log");
+    {
+        let s = WalStorage::open(&path)
+            .unwrap()
+            .with_segment_bytes(256)
+            .with_compact_threshold(u64::MAX);
+        for i in 0..30u8 {
+            s.append(&log, &[i; 32]).unwrap();
+        }
+        assert!(s.rotations() > 0, "workload must rotate segments");
+    }
+    // Simulate the crash window: the rename sealed the old active, the
+    // fresh active was never created (or the creation never reached disk).
+    std::fs::remove_file(&path).expect("active segment exists");
+
+    let s = WalStorage::open(&path).expect("sealed-only layout must open");
+    let entries = s.load_log(&log).unwrap();
+    assert!(
+        !entries.is_empty(),
+        "sealed segments must replay without an active file"
+    );
+    for (i, e) in entries.iter().enumerate() {
+        assert_eq!(e, &vec![i as u8; 32], "sealed record {i} intact");
+    }
+    s.append(&log, b"post-crash").unwrap();
+    s.flush().unwrap();
+    drop(s);
+    let s = WalStorage::open(&path).unwrap();
+    assert_eq!(s.load_log(&log).unwrap().last().unwrap(), b"post-crash");
+    drop(s);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// A torn tail in the *active* segment while sealed segments exist: the
+/// truncation repair applies to the active tail only, every sealed record
+/// stays intact, and the repaired journal keeps working.
+#[test]
+fn torn_active_tail_with_sealed_segments_keeps_sealed_history() {
+    let base = temp_base("torn-active");
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("journal.wal");
+    let log = StorageKey::new("log");
+    {
+        let s = WalStorage::open(&path)
+            .unwrap()
+            .with_segment_bytes(256)
+            .with_compact_threshold(u64::MAX);
+        // 60-byte records, 256-byte segments: every 5th commit seals, so
+        // 32 records leave 6 sealed segments and 2 records in the active.
+        for i in 0..32u8 {
+            s.append(&log, &[i; 32]).unwrap();
+        }
+        assert!(s.rotations() >= 2, "need several sealed segments");
+        assert!(s.layout().active_bytes > 0, "need a non-empty active tail");
+        s.flush().unwrap();
+    }
+    // Tear the active tail mid-record: the last record loses its framing.
+    let data = std::fs::read(&path).unwrap();
+    assert!(data.len() > 10);
+    std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+
+    let s = WalStorage::open(&path).expect("torn active tail must open");
+    let entries = s.load_log(&log).unwrap();
+    assert_eq!(
+        entries.len(),
+        31,
+        "repair must cost exactly the torn record, nothing sealed"
+    );
+    for (i, e) in entries.iter().enumerate() {
+        assert_eq!(e, &vec![i as u8; 32], "record {i} intact after repair");
+    }
+    s.append(&log, b"after-repair").unwrap();
+    s.flush().unwrap();
+    drop(s);
+    let s = WalStorage::open(&path).unwrap();
+    assert_eq!(s.load_log(&log).unwrap().last().unwrap(), b"after-repair");
+    drop(s);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Crash mid-compaction with the new base half-written to the temporary:
+/// the stale `*.wal.compact` file must be reaped on reopen (never read,
+/// never clobber-raced by the next pass) and the pre-crash state replays
+/// from the old base + segments untouched.
+#[test]
+fn crash_mid_compaction_reaps_the_half_written_temporary() {
+    let base = temp_base("half-compact");
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("journal.wal");
+    let log = StorageKey::new("log");
+    {
+        let s = WalStorage::open(&path)
+            .unwrap()
+            .with_segment_bytes(256)
+            .with_compact_threshold(u64::MAX);
+        for i in 0..20u8 {
+            s.append(&log, &[i; 32]).unwrap();
+        }
+        s.flush().unwrap();
+    }
+    // Simulate the crash: a compaction pass died after writing part of the
+    // rewritten base to the temporary — including a torn final record.
+    let tmp = std::path::PathBuf::from(format!("{}.compact", path.display()));
+    let mut garbage = std::fs::read(&path).unwrap();
+    garbage.truncate(garbage.len() / 2);
+    std::fs::write(&tmp, &garbage).unwrap();
+
+    let s = WalStorage::open(&path).expect("stale temp must not block reopen");
+    assert!(!tmp.exists(), "stale compaction temporary must be reaped");
+    let entries = s.load_log(&log).unwrap();
+    assert_eq!(entries.len(), 20, "pre-crash records replay in full");
+    // The next compaction must start from a clean temp slot.
+    s.compact().unwrap();
+    assert!(!tmp.exists(), "temp is consumed by the rename");
+    assert_eq!(s.load_log(&log).unwrap().len(), 20);
+    drop(s);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Compaction's delete-after-checkpoint racing a crash + recovery reopen:
+/// the new base was renamed into place but the process died before the
+/// covered segment files were unlinked.  Recovery must detect them via the
+/// base's covered-sequence header and reap them instead of replaying their
+/// records a second time.
+#[test]
+fn covered_segments_left_by_a_crash_are_reaped_not_replayed() {
+    let base = temp_base("covered-race");
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("journal.wal");
+    let log = StorageKey::new("log");
+    let survivors: Vec<std::path::PathBuf>;
+    {
+        let s = WalStorage::open(&path)
+            .unwrap()
+            .with_segment_bytes(256)
+            .with_compact_threshold(u64::MAX);
+        for i in 0..20u8 {
+            s.append(&log, &[i; 32]).unwrap();
+        }
+        assert!(s.rotations() > 0);
+        // Stash copies of the sealed segments, run the compaction that
+        // deletes them, then resurrect the copies — exactly the on-disk
+        // state a crash in the delete window leaves behind.
+        let dir = path.parent().unwrap();
+        let mut stash = Vec::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.file_name().unwrap().to_string_lossy().contains(".wal.seg-") {
+                let copy = std::path::PathBuf::from(format!("{}.stash", p.display()));
+                std::fs::copy(&p, &copy).unwrap();
+                stash.push((copy, p));
+            }
+        }
+        assert!(!stash.is_empty(), "need sealed segments to stash");
+        s.compact().unwrap();
+        survivors = stash
+            .into_iter()
+            .map(|(copy, orig)| {
+                std::fs::rename(&copy, &orig).unwrap();
+                orig
+            })
+            .collect();
+    }
+
+    let s = WalStorage::open(&path).expect("reopen with resurrected segments");
+    for p in &survivors {
+        assert!(!p.exists(), "covered segment {} must be reaped", p.display());
+    }
+    let entries = s.load_log(&log).unwrap();
+    assert_eq!(
+        entries.len(),
+        20,
+        "covered segments must not replay their records twice"
+    );
+    for (i, e) in entries.iter().enumerate() {
+        assert_eq!(e, &vec![i as u8; 32], "record {i} appears exactly once");
+    }
+    drop(s);
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 /// End to end, the periodic checkpoint write grows with the *delta* (new
